@@ -1,0 +1,99 @@
+"""Ablation: network depth -- where the hybrid framework earns its keep.
+
+The paper stops at one conv block because pure HE makes depth brutal
+(Section VIII: "HE is slow relatively, so it is challenging to build
+different and huge network architecture[s]").  The hybrid framework's
+enclave refresh makes noise requirements *depth-independent*: this bench
+runs 1-, 2- and 3-block CNNs through :class:`DeepHybridPipeline` under ONE
+fixed parameter set and contrasts the measured cost (linear in depth) with
+the coefficient-modulus blow-up a pure-HE evaluation of the same depth
+would need (analytic, from the noise model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import format_series, measure_simulated
+from repro.core import (
+    DeepHybridPipeline,
+    parameters_for_pipeline,
+    pure_he_modulus_bits_for_depth,
+)
+from repro.nn import DeepQuantizedCNN, deep_cnn, synthetic_mnist, train
+
+
+def _deep_model(depth: int, seed: int):
+    # Per-depth image sizes whose spatial dims divide cleanly through every
+    # (k=3, pool 2) block: 22 -> 20/2=10 -> 8/2=4 -> 2/2=1.
+    size = {1: 10, 2: 18, 3: 22}[depth]
+    channels = tuple([2] * depth)
+    model = deep_cnn(image_size=size, block_channels=channels, kernel_size=3,
+                     rng=np.random.default_rng(seed))
+    data = synthetic_mnist(train_size=150, test_size=30, seed=seed)
+    lo = (28 - size) // 2
+    train_images = data.train_images[:, :, lo : lo + size, lo : lo + size]
+    test_images = data.test_images[:, :, lo : lo + size, lo : lo + size]
+    train(model, train_images.astype(np.float64) / 255.0, data.train_labels,
+          epochs=1, learning_rate=0.1, seed=seed)
+    return DeepQuantizedCNN.from_float(model), test_images
+
+
+def test_depth_scaling(benchmark, scale, emit):
+    depths = [1, 2, 3]
+
+    def sweep():
+        times, crossings, q_bits, pure_bits, budgets = [], [], [], [], []
+        for depth in depths:
+            quantized, images = _deep_model(depth, seed=80 + depth)
+            params = parameters_for_pipeline(quantized, scale.poly_degree)
+            pipeline = DeepHybridPipeline(quantized, params, seed=80 + depth)
+            batch = images[:2]
+            t = min(
+                measure_simulated(
+                    lambda: pipeline.infer(batch), pipeline.platform.clock, 2
+                )
+            )
+            result = pipeline.infer(batch)
+            assert np.array_equal(result.logits, quantized.forward_int(batch))
+            times.append(t)
+            crossings.append(float(result.enclave_crossings))
+            q_bits.append(float(params.coeff_modulus.bit_length()))
+            pure_bits.append(
+                pure_he_modulus_bits_for_depth(
+                    depth, params.plain_modulus.bit_length(), scale.poly_degree
+                )
+            )
+            budgets.append(result.noise_budget_bits)
+        return times, crossings, q_bits, pure_bits, budgets
+
+    times, crossings, q_bits, pure_bits, budgets = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    emit(
+        "ablation_depth",
+        format_series(
+            "depth",
+            depths,
+            {
+                "hybrid_time_s": times,
+                "crossings": crossings,
+                "hybrid_log2q": q_bits,
+                "pure_he_log2q_needed": pure_bits,
+                "final_budget_bits": budgets,
+            },
+            title=(
+                f"Depth ablation: multi-block hybrid inference under a fixed-size "
+                f"modulus, n={scale.poly_degree}, scale={scale.name} "
+                f"(pure-HE column: analytic modulus requirement at that depth)"
+            ),
+        ),
+    )
+    # One enclave crossing per block.
+    assert crossings == [float(d) for d in depths]
+    # The hybrid's modulus stays in one band while pure HE's requirement
+    # grows by ~30+ bits per extra block.
+    assert max(q_bits) - min(q_bits) <= 30
+    assert pure_bits[-1] - pure_bits[0] > 50
+    # Noise budget stays healthy at every depth (the refresh resets it).
+    assert all(b > 5 for b in budgets)

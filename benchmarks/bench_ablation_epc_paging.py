@@ -1,0 +1,81 @@
+"""Ablation (paper Section III-B): why the model weights stay *outside*.
+
+The paper's argument for the hybrid partition is that holding a large model
+inside the enclave exhausts the EPC: "the pages need to be swapped in and
+out frequently when the network scale becomes more extensive, which
+increases the system overhead".  It also flags the paging pattern as a
+side channel.
+
+This ablation loads synthetic models of growing size into an enclave with a
+small EPC and measures the per-inference working-set cost: flat while the
+model fits, then a paging cliff -- plus the adversary-visible fault count
+that motivates keeping weights (which are not secret!) outside.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_series
+from repro.sgx import Enclave, SgxCostModel, SgxPlatform, ecall
+from repro.sgx.costmodel import PAGE_SIZE
+
+
+class ModelServingEnclave(Enclave):
+    """Strawman: the entire model lives and runs inside the enclave."""
+
+    def __init__(self, model_bytes: int) -> None:
+        super().__init__()
+        self.model_bytes = model_bytes
+        self._model_handle: int | None = None
+
+    @ecall
+    def infer(self) -> None:
+        # The model is a persistent in-enclave allocation; one inference
+        # touches every weight page once.
+        if self._model_handle is None:
+            self._model_handle = self.epc_reserve(self.model_bytes)
+        self.epc_touch(self._model_handle)
+
+
+def test_epc_paging_cliff(benchmark, scale, emit):
+    epc_pages = 64
+    cost_model = SgxCostModel(epc_bytes=epc_pages * PAGE_SIZE)
+    model_pages = [16, 32, 64, 96, 128, 256]
+
+    def sweep():
+        times, faults = [], []
+        for pages in model_pages:
+            platform = SgxPlatform(cost_model=cost_model)
+            enclave = platform.load_enclave(ModelServingEnclave, pages * PAGE_SIZE)
+            enclave.ecall("infer")  # cold start: everything faults once
+            before_overhead = platform.clock.overhead_s
+            before_faults = platform.epc.stats.faults
+            enclave.ecall("infer")  # steady state
+            times.append(platform.clock.overhead_s - before_overhead)
+            faults.append(float(platform.epc.stats.faults - before_faults))
+        return times, faults
+
+    times, faults = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_epc_paging",
+        format_series(
+            "model_pages",
+            model_pages,
+            {"steady_state_overhead_s": times, "page_faults": faults},
+            title=(
+                f"Section III-B ablation: per-inference enclave overhead vs model "
+                f"size, EPC={epc_pages} pages (models larger than the EPC thrash)"
+            ),
+        ),
+    )
+    fits = [p for p in model_pages if p <= epc_pages]
+    thrashes = [p for p in model_pages if p > epc_pages]
+    # While the model fits, steady-state repeat touches are free.
+    for i, pages in enumerate(model_pages):
+        if pages in fits:
+            assert faults[i] == 0, f"{pages} pages should stay resident"
+    # Past the EPC, every inference re-faults the working set: the cliff.
+    for i, pages in enumerate(model_pages):
+        if pages in thrashes:
+            assert faults[i] >= pages, f"{pages} pages must thrash"
+            assert times[i] > 0
+    benchmark.extra_info["cliff_at_pages"] = epc_pages

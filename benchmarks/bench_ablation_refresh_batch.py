@@ -1,0 +1,75 @@
+"""Ablation: how the SGX refresh amortizes with batch size.
+
+Generalizes Table V's two data points (95.55 ms unbatched -> 23.429 ms at
+batchSize) into a full sweep: per-ciphertext refresh cost against the
+number of ciphertexts shipped per crossing.  The fixed crossing + key-load
+cost divides away; the curve must be monotonically non-increasing (within
+noise) and flatten toward the raw decrypt/re-encrypt floor.
+
+Also sweeps the cost model (paper-calibrated vs bare-metal) to show the
+conclusion is not an artifact of one constant choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import format_series, measure_simulated
+from repro.core import InferenceEnclave, sgx_refresh
+from repro.he import Context, Encryptor, Evaluator, ScalarEncoder
+from repro.he.keys import PublicKey
+from repro.sgx import SgxPlatform, bare_metal_cost_model, paper_cost_model
+
+
+def _rig(params, cost_model, seed=61):
+    platform = SgxPlatform(cost_model=cost_model)
+    enclave = platform.load_enclave(InferenceEnclave, params, seed)
+    public = enclave.ecall("generate_keys")
+    context = Context(params)
+    public = PublicKey(context, public.p0_ntt, public.p1_ntt)
+    rng = np.random.default_rng(seed)
+    return platform, enclave, ScalarEncoder(context), Encryptor(context, public, rng), Evaluator(context), rng
+
+
+def test_refresh_batch_sweep(benchmark, hybrid_params, scale, emit):
+    batches = [1, 2, 4, 8, 16] if scale.name != "paper" else [1, 2, 4, 8, 16, 32, 64]
+    reps = max(2, scale.repeats // 5)
+
+    def sweep():
+        curves = {}
+        for label, model in (("paper_model", paper_cost_model()),
+                             ("bare_metal", bare_metal_cost_model())):
+            platform, enclave, encoder, encryptor, evaluator, rng = _rig(
+                hybrid_params, model
+            )
+            per_item = []
+            for b in batches:
+                values = rng.integers(-50, 50, size=b)
+                squared = evaluator.square(encryptor.encrypt(encoder.encode(values)))
+                t = min(
+                    measure_simulated(
+                        lambda: sgx_refresh(enclave, squared), platform.clock, reps
+                    )
+                )
+                per_item.append(t / b)
+            curves[label] = per_item
+        return curves
+
+    curves = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_refresh_batch",
+        format_series(
+            "batch",
+            batches,
+            {k: [v * 1e3 for v in vs] for k, vs in curves.items()},
+            title=(
+                f"Ablation: per-ciphertext SGX refresh cost (/ms) vs crossing "
+                f"batch size, n={hybrid_params.poly_degree}, scale={scale.name} "
+                f"(generalizes Table V's 95.55 -> 23.429 ms amortization)"
+            ),
+        ),
+    )
+    for label, per_item in curves.items():
+        # Amortization: big batches beat singletons decisively.
+        assert per_item[-1] < per_item[0], label
+        benchmark.extra_info[f"{label}_amortization"] = per_item[0] / per_item[-1]

@@ -1,0 +1,115 @@
+"""Ablation (paper Section VIII): CRT/SIMD batching throughput.
+
+The paper does *not* use SIMD but predicts: "if you use SIMD technology,
+you can get 1024 times the throughput" (n = 1024 slots per ciphertext).
+
+This ablation measures plaintext-multiply and add throughput (values/sec)
+three ways: one value per ciphertext (the paper's encoding), numpy-batched
+ciphertexts (this library's vectorization), and slot-packed SIMD
+ciphertexts -- confirming the predicted slot-count amplification of the
+per-ciphertext path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import format_table, measure_repeated
+from repro.he import (
+    BatchEncoder,
+    Context,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+    ScalarEncoder,
+)
+
+
+def _batching_params(base):
+    """Swap the auto-sized power-of-two t for a batching prime of similar
+    width (t must be prime with t ≡ 1 mod 2n for CRT slots)."""
+    import dataclasses
+
+    from repro.he import modmath
+
+    bits = max(17, base.plain_modulus.bit_length())
+    t = modmath.ntt_primes(bits, base.poly_degree, 1)[0]
+    return dataclasses.replace(base, plain_modulus=t, name=f"{base.name}_simd")
+
+
+def test_simd_throughput(benchmark, hybrid_params, scale, emit):
+    hybrid_params = _batching_params(hybrid_params)
+    context = Context(hybrid_params)
+    rng = np.random.default_rng(51)
+    keys = KeyGenerator(context, rng).generate()
+    evaluator = Evaluator(context)
+    encryptor = Encryptor(context, keys.public, rng)
+    scalar = ScalarEncoder(context)
+    batch = BatchEncoder(context)
+    n = batch.slot_count
+    reps = max(3, scale.repeats // 2)
+
+    one_value = encryptor.encrypt(scalar.encode(7))
+    one_weight = evaluator.transform_plain(scalar.encode(3))
+    packed = encryptor.encrypt(batch.encode(rng.integers(-100, 100, size=n)))
+    packed_weight = evaluator.transform_plain(batch.encode(rng.integers(-5, 5, size=n)))
+
+    def run():
+        single_t = min(
+            measure_repeated(lambda: evaluator.multiply_plain(one_value, one_weight), reps)
+        )
+        simd_t = min(
+            measure_repeated(lambda: evaluator.multiply_plain(packed, packed_weight), reps)
+        )
+        return single_t, simd_t
+
+    single_t, simd_t = benchmark.pedantic(run, rounds=1, iterations=1)
+    single_tp = 1.0 / single_t
+    simd_tp = n / simd_t
+    gain = simd_tp / single_tp
+    benchmark.extra_info["simd_gain"] = gain
+    emit(
+        "ablation_simd",
+        format_table(
+            ["encoding", "values/ciphertext", "op time (ms)", "values/sec"],
+            [
+                ["one-per-ciphertext", "1", f"{single_t * 1e3:.3f}", f"{single_tp:,.0f}"],
+                ["SIMD slot-packed", str(n), f"{simd_t * 1e3:.3f}", f"{simd_tp:,.0f}"],
+            ],
+            title=(
+                f"Section VIII ablation: plaintext-multiply throughput, "
+                f"n={hybrid_params.poly_degree}, scale={scale.name} "
+                f"(paper prediction: SIMD buys up to {n}x)"
+            ),
+        )
+        + f"\nSIMD throughput gain: {gain:,.0f}x (slots: {n})",
+    )
+    # The op costs the same whether slots are full or not, so the gain is
+    # essentially the slot count (allow generous slack for timer noise).
+    assert gain > n / 4
+
+
+def test_simd_results_are_correct(benchmark, hybrid_params):
+    """Slot-packed arithmetic must agree with scalar arithmetic slot-wise."""
+    hybrid_params = _batching_params(hybrid_params)
+    context = Context(hybrid_params)
+    rng = np.random.default_rng(52)
+    keys = KeyGenerator(context, rng).generate()
+    evaluator = Evaluator(context)
+    encryptor = Encryptor(context, keys.public, rng)
+    batch = BatchEncoder(context)
+    from repro.he import Decryptor
+
+    decryptor = Decryptor(context, keys.secret)
+    values = rng.integers(-100, 100, size=64)
+    weights = rng.integers(-5, 5, size=64)
+
+    def run():
+        ct = evaluator.multiply_plain(
+            encryptor.encrypt(batch.encode(values)),
+            evaluator.transform_plain(batch.encode(weights)),
+        )
+        return batch.decode(decryptor.decrypt(ct))[:64]
+
+    decoded = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert np.array_equal(decoded, values * weights)

@@ -1,0 +1,114 @@
+"""Fig. 3: weight-parameter encoding time against the number of weights.
+
+Paper: encoding time is *linear* in the number of weights and essentially
+independent of how those weights are arranged -- (a) fixing the kernel
+count at 11 and 26 while sweeping kernel size, and (b) sweeping count and
+size jointly, all collapse onto the same line.
+
+The reproduction sweeps the same two protocols, prints both series, and
+fits the linearity (R^2 of a least-squares line must be ~1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import format_series, measure_repeated
+from repro.core import encode_conv_weights
+from repro.he import Context, Evaluator, ScalarEncoder
+
+
+def _encoder_rig(params):
+    context = Context(params)
+    return Evaluator(context), ScalarEncoder(context)
+
+
+def _encode_time(evaluator, encoder, kernels, kernel_size, repeats, rng):
+    weight = rng.integers(-31, 32, size=(kernels, 1, kernel_size, kernel_size))
+    bias = rng.integers(-31, 32, size=kernels)
+    samples = measure_repeated(
+        lambda: encode_conv_weights(evaluator, encoder, weight, bias), repeats
+    )
+    return min(samples)
+
+
+def _r_squared(x: np.ndarray, y: np.ndarray) -> float:
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    residual = ((y - predicted) ** 2).sum()
+    total = ((y - y.mean()) ** 2).sum()
+    return 1.0 - residual / total
+
+
+def test_fig3a_fixed_kernel_count(benchmark, hybrid_params, scale, emit, rng):
+    evaluator, encoder = _encoder_rig(hybrid_params)
+    sizes = [1, 2, 3, 4, 5, 6] if scale.name != "paper" else [1, 3, 5, 7, 9, 11, 13, 15]
+    reps = max(4, scale.repeats // 2)
+
+    def sweep():
+        out = {}
+        for kernels in (11, 26):
+            out[kernels] = [
+                _encode_time(evaluator, encoder, kernels, k, reps, rng) for k in sizes
+            ]
+        return out
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    weights_11 = [11 * k * k + 11 for k in sizes]
+    weights_26 = [26 * k * k + 26 for k in sizes]
+    emit(
+        "fig3a_weight_encoding",
+        format_series(
+            "kernel_size",
+            sizes,
+            {
+                "weights(K=11)": [float(w) for w in weights_11],
+                "time_s(K=11)": series[11],
+                "weights(K=26)": [float(w) for w in weights_26],
+                "time_s(K=26)": series[26],
+            },
+            title=(
+                f"Fig. 3(a): weight encoding time vs kernel size at fixed kernel "
+                f"counts 11 and 26, scale={scale.name}"
+            ),
+        ),
+    )
+    # Shape: time is linear in the weight count for both fixed counts.
+    r2_11 = _r_squared(np.array(weights_11, dtype=float), np.array(series[11]))
+    r2_26 = _r_squared(np.array(weights_26, dtype=float), np.array(series[26]))
+    benchmark.extra_info["r2_k11"] = r2_11
+    benchmark.extra_info["r2_k26"] = r2_26
+    assert r2_11 > 0.95
+    assert r2_26 > 0.95
+
+
+def test_fig3b_joint_sweep(benchmark, hybrid_params, scale, emit, rng):
+    evaluator, encoder = _encoder_rig(hybrid_params)
+    combos = [(4, 2), (8, 3), (12, 4), (16, 5), (20, 6)]
+    reps = max(4, scale.repeats // 2)
+
+    def sweep():
+        return [
+            _encode_time(evaluator, encoder, kernels, k, reps, rng)
+            for kernels, k in combos
+        ]
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    weights = [kernels * k * k + kernels for kernels, k in combos]
+    emit(
+        "fig3b_weight_encoding",
+        format_series(
+            "weights",
+            weights,
+            {"time_s": times},
+            title=(
+                f"Fig. 3(b): weight encoding time vs weight count, jointly sweeping "
+                f"kernel count and size, scale={scale.name}"
+            ),
+        ),
+    )
+    r2 = _r_squared(np.array(weights, dtype=float), np.array(times))
+    benchmark.extra_info["r2"] = r2
+    assert r2 > 0.95
+    # Per-weight cost in (a) and (b) must agree: arrangement-independence.
+    assert times[-1] / weights[-1] < 10 * times[0] / weights[0]

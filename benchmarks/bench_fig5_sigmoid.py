@@ -1,0 +1,125 @@
+"""Fig. 5: Sigmoid computation time with/without SGX vs feature-map size.
+
+Paper: three lines over growing feature maps --
+
+* ``EncryptSigmoid``: the HE substitute (square + relinearization), the
+  slowest by far (0.19 s -> 37.4 s slower than SGX);
+* ``SGXSigmoid``: decrypt + exact sigmoid + re-encrypt inside the enclave
+  (34 ms -> 5.62 s above FakeSGX, growing with the number of values);
+* ``FakeSGXSigmoid``: the same code outside the enclave (floor).
+
+The reproduction sweeps feature-map sizes, times all three on the simulated
+clock, and asserts the ordering Encrypt > SGX > FakeSGX at every size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import format_series, measure_simulated
+from repro.core import InferenceEnclave
+from repro.he import Context, Encryptor, Evaluator, ScalarEncoder
+from repro.he.keys import PublicKey
+from repro.sgx import SgxPlatform
+
+
+def _rig(params, seed=21):
+    platform = SgxPlatform()
+    trusted = platform.load_enclave(InferenceEnclave, params, seed)
+    fake = platform.load_enclave(InferenceEnclave, params, seed, trusted=False)
+    public = trusted.ecall("generate_keys")
+    fake.ecall("generate_keys")
+    context = Context(params)
+    public = PublicKey(context, public.p0_ntt, public.p1_ntt)
+    rng = np.random.default_rng(seed)
+    encoder = ScalarEncoder(context)
+    encryptor = Encryptor(context, public, rng)
+    evaluator = Evaluator(context)
+    relin = trusted.ecall("generate_relin_keys")
+    return platform, trusted, fake, encoder, encryptor, evaluator, relin, rng
+
+
+def test_fig5_sigmoid_sweep(benchmark, pure_he_params, scale, emit):
+    platform, trusted, fake, encoder, encryptor, evaluator, relin, rng = _rig(
+        pure_he_params
+    )
+    sizes = [4, 8, 12] if scale.name != "paper" else [4, 8, 12, 16, 20, 24]
+    reps = max(2, scale.repeats // 5)
+
+    def sweep():
+        rows = {"EncryptSigmoid": [], "SGXSigmoid": [], "FakeSGXSigmoid": []}
+        for size in sizes:
+            values = rng.integers(-40, 40, size=(1, 1, size, size))
+            ct = encryptor.encrypt(encoder.encode(values))
+            rows["EncryptSigmoid"].append(
+                min(
+                    measure_simulated(
+                        lambda: evaluator.relinearize(evaluator.square(ct), relin),
+                        platform.clock,
+                        reps,
+                    )
+                )
+            )
+            rows["SGXSigmoid"].append(
+                min(
+                    measure_simulated(
+                        lambda: trusted.ecall("sigmoid", ct, 10.0, 1000),
+                        platform.clock,
+                        reps,
+                    )
+                )
+            )
+            rows["FakeSGXSigmoid"].append(
+                min(
+                    measure_simulated(
+                        lambda: fake.ecall("sigmoid", ct, 10.0, 1000),
+                        platform.clock,
+                        reps,
+                    )
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    calculations = [float(s * s) for s in sizes]
+    emit(
+        "fig5_sigmoid",
+        format_series(
+            "map_size",
+            sizes,
+            {**rows, "calculations": calculations},
+            title=(
+                f"Fig. 5: sigmoid computing time per feature map (/s), "
+                f"n={pure_he_params.poly_degree}, scale={scale.name} "
+                f"(paper ordering: Encrypt >> SGX > FakeSGX, gaps grow with size)"
+            ),
+        ),
+    )
+    for i, size in enumerate(sizes):
+        assert rows["EncryptSigmoid"][i] > rows["SGXSigmoid"][i], f"size {size}"
+        assert rows["SGXSigmoid"][i] > rows["FakeSGXSigmoid"][i], f"size {size}"
+    # Gaps grow with the number of calculations.
+    he_gap = np.array(rows["EncryptSigmoid"]) - np.array(rows["SGXSigmoid"])
+    assert he_gap[-1] > he_gap[0]
+    benchmark.extra_info["he_over_sgx_at_max"] = (
+        rows["EncryptSigmoid"][-1] / rows["SGXSigmoid"][-1]
+    )
+
+
+def test_sgx_sigmoid_is_exact(benchmark, pure_he_params):
+    """The whole point: the enclave evaluates the true sigmoid, the HE path
+    only a polynomial stand-in."""
+    from repro.nn.layers import Sigmoid
+
+    platform, trusted, fake, encoder, encryptor, evaluator, relin, rng = _rig(
+        pure_he_params
+    )
+    values = np.arange(-8, 8, dtype=np.int64).reshape(1, 1, 4, 4)
+    ct = encryptor.encrypt(encoder.encode(values))
+    out = benchmark.pedantic(
+        lambda: trusted.ecall("sigmoid", ct, 4.0, 1000), rounds=1, iterations=1
+    )
+    decryptor = trusted._instance._decryptor
+    got = encoder.decode(decryptor.decrypt(out))
+    expected = np.rint(Sigmoid.apply(values / 4.0) * 1000).astype(np.int64)
+    assert np.array_equal(got, expected)

@@ -1,0 +1,104 @@
+"""Fig. 6: pooling time with/without SGX against the window size.
+
+Paper (24 x 24 input map, windows 2..6, four bars per window):
+
+* ``SGXDiv``      = EncryptedSum (homomorphic window adds) + SGXDivide;
+* ``FakeSGXDiv``  = EncryptedSum + FakeSGXDivide (no-enclave control);
+* ``SGXPool``     = the whole map decrypted and pooled inside SGX;
+* ``FakeSGXPool`` = the same outside.
+
+Findings to reproduce: time falls as the window grows (fewer outputs);
+SGXPool's cost barely falls (fixed input size); SGXDiv's enclave cost
+collapses (divisions shrink ~window^2); the SGXDiv-vs-SGXPool crossover
+sits at window size 3 on the paper's hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import format_series, measure_simulated
+from repro.core import InferenceEnclave, PoolingPlacementPolicy, PoolStrategy
+from repro.core.heops import he_scaled_mean_pool
+from repro.he import Context, Encryptor, Evaluator, ScalarEncoder
+from repro.he.keys import PublicKey
+from repro.sgx import SgxPlatform
+
+
+def _rig(params, seed=23):
+    platform = SgxPlatform()
+    trusted = platform.load_enclave(InferenceEnclave, params, seed)
+    fake = platform.load_enclave(InferenceEnclave, params, seed, trusted=False)
+    public = trusted.ecall("generate_keys")
+    fake.ecall("generate_keys")
+    context = Context(params)
+    public = PublicKey(context, public.p0_ntt, public.p1_ntt)
+    rng = np.random.default_rng(seed)
+    return (
+        platform,
+        trusted,
+        fake,
+        ScalarEncoder(context),
+        Encryptor(context, public, rng),
+        Evaluator(context),
+        rng,
+    )
+
+
+def test_fig6_pooling_sweep(benchmark, hybrid_params, scale, emit):
+    platform, trusted, fake, encoder, encryptor, evaluator, rng = _rig(hybrid_params)
+    map_size = 12 if scale.name != "paper" else 24
+    windows = [w for w in (2, 3, 4, 6) if map_size % w == 0]
+    values = rng.integers(0, 200, size=(1, 1, map_size, map_size))
+    ct = encryptor.encrypt(encoder.encode(values))
+    reps = max(2, scale.repeats // 5)
+
+    def timed(fn):
+        return min(measure_simulated(fn, platform.clock, reps))
+
+    def sweep():
+        rows = {"SGXDiv": [], "FakeSGXDiv": [], "SGXPool": [], "FakeSGXPool": []}
+        inputs_to_sgx = []
+        for w in windows:
+            summed = he_scaled_mean_pool(evaluator, ct, w)
+            sum_time = timed(lambda: he_scaled_mean_pool(evaluator, ct, w))
+            rows["SGXDiv"].append(
+                sum_time + timed(lambda: trusted.ecall("divide", summed, w * w))
+            )
+            rows["FakeSGXDiv"].append(
+                sum_time + timed(lambda: fake.ecall("divide", summed, w * w))
+            )
+            rows["SGXPool"].append(timed(lambda: trusted.ecall("mean_pool", ct, w)))
+            rows["FakeSGXPool"].append(timed(lambda: fake.ecall("mean_pool", ct, w)))
+            inputs_to_sgx.append(float((map_size // w) ** 2))
+        return rows, inputs_to_sgx
+
+    (rows, inputs_to_sgx) = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "fig6_pooling",
+        format_series(
+            "window",
+            windows,
+            {**rows, "SGXDiv_inputs": inputs_to_sgx},
+            title=(
+                f"Fig. 6: pool computing time per {map_size}x{map_size} feature map "
+                f"(/s), scale={scale.name} (paper: SGXDiv beats SGXPool once "
+                f"window >= 3; SGXPool nearly flat)"
+            ),
+        ),
+    )
+    # Shape 1: SGX always costs more than its FakeSGX control.
+    for i in range(len(windows)):
+        assert rows["SGXPool"][i] > rows["FakeSGXPool"][i]
+        assert rows["SGXDiv"][i] >= rows["FakeSGXDiv"][i]
+    # Shape 2: SGXDiv's enclave-side work collapses with the window while
+    # SGXPool's stays nearly flat -> for large windows SGXDiv wins.
+    assert rows["SGXDiv"][-1] < rows["SGXPool"][-1]
+    crossover = next(
+        (w for w, div, pool in zip(windows, rows["SGXDiv"], rows["SGXPool"]) if div < pool),
+        None,
+    )
+    benchmark.extra_info["crossover_window"] = crossover
+    # Shape 3: the placement policy agrees with the measurement at the ends.
+    policy = PoolingPlacementPolicy(crossover_window=crossover or 3)
+    assert policy.choose(windows[-1]) is PoolStrategy.SGX_DIV

@@ -1,0 +1,71 @@
+"""Table I: homomorphic public/private key generation time, inside vs
+outside SGX.
+
+Paper (n = 1024, 1000 reps): inside 49.593 ms (STD 3.448), outside
+20.201 ms (STD 0.774) -- a 2.455x penalty for running identical code in the
+enclave, plus ~1 ms when the caller pays the ECALL transition.
+
+The reproduction runs the same key-generation code through a trusted
+enclave handle (simulated time = real compute x EPC factor + transition +
+marshalling) and through a FakeSGX handle (real time only), then prints the
+paper's Average / STD / 96% CI rows.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Summary, format_table, measure_simulated
+from repro.core import InferenceEnclave
+from repro.he import Context, KeyGenerator
+from repro.sgx import SgxPlatform
+
+
+def _keygen_handles(params):
+    platform = SgxPlatform()
+    trusted = platform.load_enclave(InferenceEnclave, params, 1)
+    fake = platform.load_enclave(InferenceEnclave, params, 1, trusted=False)
+    return platform, trusted, fake
+
+
+def test_keygen_outside_sgx(benchmark, hybrid_params):
+    """Raw key-generation speed of the FV implementation (outside)."""
+    context = Context(hybrid_params)
+    keygen = KeyGenerator(context)
+    benchmark(keygen.generate)
+
+
+def test_keygen_inside_sgx_simulated(benchmark, hybrid_params, scale, emit):
+    """Regenerates Table I (simulated seconds, milliseconds in the report)."""
+    platform, trusted, fake = _keygen_handles(hybrid_params)
+
+    def sweep():
+        inside = measure_simulated(
+            lambda: trusted.ecall("generate_keys"), platform.clock, scale.repeats
+        )
+        outside = measure_simulated(
+            lambda: fake.ecall("generate_keys"), platform.clock, scale.repeats
+        )
+        return inside, outside
+
+    inside, outside = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    s_in, s_out = Summary.of(inside), Summary.of(outside)
+    benchmark.extra_info["inside_ms"] = s_in.mean * 1e3
+    benchmark.extra_info["outside_ms"] = s_out.mean * 1e3
+    benchmark.extra_info["ratio"] = s_in.mean / s_out.mean
+    emit(
+        "table1_keygen",
+        format_table(
+            ["", "Average", "STD", "96% CI"],
+            [
+                ["Inside SGX", *s_in.row(unit_scale=1e3)],
+                ["Outside SGX", *s_out.row(unit_scale=1e3)],
+            ],
+            title=(
+                f"Table I: key generation time (/ms), n={hybrid_params.poly_degree}, "
+                f"{scale.repeats} reps, scale={scale.name} "
+                f"(paper: inside 49.593, outside 20.201, ratio 2.455)"
+            ),
+        )
+        + f"\nratio inside/outside: {s_in.mean / s_out.mean:.3f}",
+    )
+    # Shape assertion: the enclave must cost more, by roughly the EPC factor.
+    assert s_in.mean > s_out.mean

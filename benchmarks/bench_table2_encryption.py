@@ -1,0 +1,60 @@
+"""Table II: image encoding + encryption time for a batch of images.
+
+Paper (batchSize = 10, 28 x 28 pixels, one ciphertext per pixel, 1000
+reps): 157.013 s per batch, STD 1.613, i.e. ~15.7 s per image on SEAL 2.1.
+
+The reproduction encodes + encrypts ``scale.batch_size`` images pixel-per-
+ciphertext and reports the same Average / STD / 96% CI row plus the derived
+per-image cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import Summary, format_table, measure_repeated
+from repro.he import Context, Encryptor, KeyGenerator, ScalarEncoder
+
+
+def _setup(params, q_sigmoid, images):
+    context = Context(params)
+    rng = np.random.default_rng(7)
+    keys = KeyGenerator(context, rng).generate()
+    encoder = ScalarEncoder(context)
+    encryptor = Encryptor(context, keys.public, rng)
+    pixels = q_sigmoid.quantize_images(images)
+    return encoder, encryptor, pixels
+
+
+def test_image_encode_encrypt_batch(benchmark, hybrid_params, q_sigmoid, batch_images, scale, emit):
+    encoder, encryptor, pixels = _setup(hybrid_params, q_sigmoid, batch_images)
+
+    def encrypt_batch():
+        return encryptor.encrypt(encoder.encode(pixels))
+
+    benchmark(encrypt_batch)
+    samples = measure_repeated(encrypt_batch, scale.repeats)
+    summary = Summary.of(samples)
+    per_image = summary.mean / scale.batch_size
+    benchmark.extra_info["batch_s"] = summary.mean
+    benchmark.extra_info["per_image_s"] = per_image
+    emit(
+        "table2_encryption",
+        format_table(
+            ["batchSize", "Average", "STD", "96% CI"],
+            [[str(scale.batch_size), *summary.row(digits=4)]],
+            title=(
+                f"Table II: image encoding and encryption time (/s), "
+                f"{scale.image_size}x{scale.image_size} px, n={hybrid_params.poly_degree}, "
+                f"scale={scale.name} (paper: 157.013 s for 10 images at 28x28)"
+            ),
+        )
+        + f"\nper image: {per_image:.4f} s",
+    )
+
+
+def test_single_pixel_encrypt(benchmark, hybrid_params, q_sigmoid, batch_images):
+    """Unit cost: one pixel -> one ciphertext."""
+    encoder, encryptor, _ = _setup(hybrid_params, q_sigmoid, batch_images)
+    plain = encoder.encode(128)
+    benchmark(encryptor.encrypt, plain)

@@ -1,0 +1,58 @@
+"""Table III: decryption + decoding of a batch of inference results.
+
+Paper (batchSize = 10 images x 10 logits = 100 ciphertexts, 100 reps):
+62.391 ms, STD 0.941, i.e. ~6.24 ms per image's result vector.
+
+The reproduction decrypts ``batch_size x 10`` encrypted logits and reports
+the paper's row plus the per-image figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import Summary, format_table, measure_repeated
+from repro.he import Context, Decryptor, Encryptor, KeyGenerator, ScalarEncoder
+
+
+def _encrypted_logits(params, batch_size, rng):
+    context = Context(params)
+    keys = KeyGenerator(context, rng).generate()
+    encoder = ScalarEncoder(context)
+    encryptor = Encryptor(context, keys.public, rng)
+    logits = rng.integers(-10_000, 10_000, size=(batch_size, 10))
+    ct = encryptor.encrypt(encoder.encode(logits))
+    return encoder, Decryptor(context, keys.secret), ct
+
+
+def test_decrypt_inference_results(benchmark, hybrid_params, scale, emit):
+    rng = np.random.default_rng(11)
+    encoder, decryptor, ct = _encrypted_logits(hybrid_params, scale.batch_size, rng)
+
+    def decrypt_batch():
+        return encoder.decode(decryptor.decrypt(ct))
+
+    benchmark(decrypt_batch)
+    samples = measure_repeated(decrypt_batch, scale.repeats)
+    summary = Summary.of(samples)
+    per_image_ms = summary.mean * 1e3 / scale.batch_size
+    benchmark.extra_info["per_image_ms"] = per_image_ms
+    emit(
+        "table3_decryption",
+        format_table(
+            ["batchSize", "Average", "STD", "96% CI"],
+            [[str(scale.batch_size), *summary.row(unit_scale=1e3)]],
+            title=(
+                f"Table III: decryption and decoding of {scale.batch_size} image "
+                f"inference results (/ms), n={hybrid_params.poly_degree}, "
+                f"scale={scale.name} (paper: 62.391 ms for 10 images)"
+            ),
+        )
+        + f"\nper image result: {per_image_ms:.3f} ms",
+    )
+
+
+def test_single_result_decrypt(benchmark, hybrid_params):
+    rng = np.random.default_rng(12)
+    encoder, decryptor, ct = _encrypted_logits(hybrid_params, 1, rng)
+    benchmark(lambda: encoder.decode(decryptor.decrypt(ct)))

@@ -1,0 +1,71 @@
+"""Shared benchmark fixtures and the report-emission helper.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Every benchmark also
+regenerates its paper table/figure as text under ``benchmarks/results/``,
+which is where the numbers in EXPERIMENTS.md come from.  Scale is selected
+with ``REPRO_BENCH_SCALE`` (tiny | small | paper; default small).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.bench import current_scale, hybrid_parameters, pure_he_parameters, trained_models
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def models(scale):
+    return trained_models(scale.name)
+
+
+@pytest.fixture(scope="session")
+def q_sigmoid(scale, models):
+    return models.quantized_sigmoid()
+
+
+@pytest.fixture(scope="session")
+def q_square(scale, models):
+    return models.quantized_square()
+
+
+@pytest.fixture(scope="session")
+def hybrid_params(scale):
+    return hybrid_parameters(scale.name)
+
+
+@pytest.fixture(scope="session")
+def pure_he_params(scale):
+    return pure_he_parameters(scale.name)
+
+
+@pytest.fixture(scope="session")
+def batch_images(scale, models):
+    return models.dataset.test_images[: scale.batch_size]
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2021)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a named report to benchmarks/results/ and echo it."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _emit

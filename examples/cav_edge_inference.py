@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Case study (paper Section VII): connected and autonomous vehicles.
+
+A CAV acts as a mobile edge server offering digit-recognition inference to
+nearby smart devices.  Devices refuse to upload plaintext images (they leak
+to the service provider and the car manufacturer), so the vehicle deploys
+the hybrid HE+SGX framework:
+
+1. the on-board enclave generates FV keys and proves itself to each device
+   via remote attestation, shipping the key pair over the attested channel;
+2. devices send homomorphically encrypted images;
+3. the vehicle's untrusted runtime evaluates the linear layers over
+   ciphertexts, the enclave handles sigmoid + pooling exactly;
+4. devices decrypt their own results; the vehicle never sees pixels or
+   predictions in the clear.
+
+The script compares all four Fig. 8 schemes on the same request batch and
+prints a per-stage cost breakdown.
+
+Run:
+    python examples/cav_edge_inference.py            # scaled-down (fast)
+    REPRO_PAPER_DIMS=1 python examples/cav_edge_inference.py   # 28x28, slow
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core import (
+    CryptonetsPipeline,
+    HybridPipeline,
+    PlaintextPipeline,
+    parameters_for_pipeline,
+    train_paper_models,
+)
+from repro.nn import accuracy_score
+
+
+def main() -> None:
+    paper_dims = bool(os.environ.get("REPRO_PAPER_DIMS"))
+    dims = dict(image_size=28, channels=6, kernel_size=5) if paper_dims else dict(
+        image_size=12, channels=2, kernel_size=3
+    )
+    batch_size = 10 if paper_dims else 3
+
+    print("== CAV edge server: provisioning ==")
+    models = train_paper_models(train_size=800, test_size=200, epochs=8, **dims)
+    q_sigmoid = models.quantized_sigmoid()
+    q_square = models.quantized_square()
+    hybrid_params = parameters_for_pipeline(q_sigmoid, 1024, name="cav_hybrid")
+    pure_params = parameters_for_pipeline(q_square, 1024, name="cav_pure_he")
+    print(f"   hybrid:  {hybrid_params.describe()}")
+    print(f"   pure HE: {pure_params.describe()}")
+
+    requests = models.dataset.test_images[:batch_size]
+    labels = models.dataset.test_labels[:batch_size]
+    plain = PlaintextPipeline(q_sigmoid).infer(requests)
+
+    print(f"\n== Serving a batch of {batch_size} encrypted ride-sharing requests ==")
+    schemes = {
+        "Encrypted (pure HE)": CryptonetsPipeline(q_square, pure_params, seed=3),
+        "EncryptSGX (the framework)": HybridPipeline(
+            q_sigmoid, hybrid_params, mode="batched", seed=3
+        ),
+        "EncryptFakeSGX (control)": HybridPipeline(
+            q_sigmoid, hybrid_params, mode="fake", seed=3
+        ),
+    }
+    results = {}
+    for name, pipeline in schemes.items():
+        results[name] = pipeline.infer(requests)
+        print(f"\n--- {name} ---")
+        print(results[name].describe())
+
+    print("\n== Per-device outcome ==")
+    hybrid = results["EncryptSGX (the framework)"]
+    print(f"   labels:      {labels.tolist()}")
+    print(f"   predictions: {hybrid.predictions.tolist()}")
+    print(f"   accuracy:    {accuracy_score(hybrid.predictions, labels):.2f}")
+    print(
+        "   hybrid == plaintext logits:",
+        np.array_equal(hybrid.logits, plain.logits),
+    )
+
+    pure_t = results["Encrypted (pure HE)"].total_elapsed_s
+    hybrid_t = hybrid.total_elapsed_s
+    print(
+        f"\n== Headline ==\n   EncryptSGX saves "
+        f"{(1 - hybrid_t / pure_t) * 100:.1f}% of the inference time vs pure HE "
+        f"({hybrid_t:.2f}s vs {pure_t:.2f}s simulated for the batch; "
+        f"the paper measured 39.6% on SEAL 2.1 + real SGX)."
+    )
+
+
+if __name__ == "__main__":
+    main()

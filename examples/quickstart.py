@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: privacy-preserving digit inference in ~60 lines.
+
+Trains the paper's 4-layer CNN (Table VI, dimensionally reduced so this
+runs in seconds), deploys it behind the hybrid HE+SGX pipeline, and infers
+a handful of encrypted digits -- verifying that encrypted predictions match
+the plaintext model exactly, the paper's central accuracy claim.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    HybridPipeline,
+    PlaintextPipeline,
+    parameters_for_pipeline,
+    train_paper_models,
+)
+
+
+def main() -> None:
+    print("== 1. Train the paper's CNN on synthetic MNIST (reduced dims) ==")
+    models = train_paper_models(
+        train_size=600, test_size=150, epochs=6,
+        image_size=12, channels=2, kernel_size=3, verbose=True,
+    )
+    quantized = models.quantized_sigmoid()
+
+    print("\n== 2. Size FV parameters for the hybrid circuit ==")
+    params = parameters_for_pipeline(quantized, poly_degree=1024)
+    print(f"   {params.describe()}")
+    print(f"   model needs t >= {quantized.required_plain_modulus()}")
+
+    print("\n== 3. Deploy: enclave keygen, attested key delivery, weight encoding ==")
+    pipeline = HybridPipeline(quantized, params, seed=7)
+    print(f"   enclave measurement: {pipeline.enclave.measurement.mrenclave[:16]}...")
+
+    print("\n== 4. Encrypted inference on 4 held-out digits ==")
+    images = models.dataset.test_images[:4]
+    labels = models.dataset.test_labels[:4]
+    result = pipeline.infer(images)
+    print(result.describe())
+
+    plain = PlaintextPipeline(quantized).infer(images)
+    print(f"\n   true labels:           {labels.tolist()}")
+    print(f"   plaintext predictions: {plain.predictions.tolist()}")
+    print(f"   encrypted predictions: {result.predictions.tolist()}")
+    exact = np.array_equal(result.logits, plain.logits)
+    print(f"   encrypted logits == plaintext logits: {exact}")
+    if not exact:
+        raise SystemExit("BUG: the hybrid pipeline must be bit-exact")
+    print("\nDone: the edge server computed on ciphertexts + enclave only;")
+    print("it never saw a pixel in the clear outside trusted code.")
+
+
+if __name__ == "__main__":
+    main()

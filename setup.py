@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+`pip install -e .` needs the `wheel` package for PEP 517 editable installs;
+on minimal/offline environments without it, `python setup.py develop` (which
+this shim enables) or the .pth fallback in the README work instead.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,12 @@
+"""repro: reproduction of 'Privacy-Preserving Neural Network Inference
+Framework via Homomorphic Encryption and SGX' (ICDCS 2021).
+
+Subpackages:
+    repro.he    -- from-scratch FV/BFV homomorphic encryption
+    repro.sgx   -- SGX enclave simulator (EPC, ECALLs, attestation)
+    repro.nn    -- CNN engine (layers, training, synthetic MNIST)
+    repro.core  -- the paper's inference pipelines (plaintext, CryptoNets, hybrid)
+    repro.bench -- measurement harness (mean / STD / 96% CI tables)
+"""
+
+__version__ = "1.0.0"

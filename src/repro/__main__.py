@@ -1,0 +1,57 @@
+"""``python -m repro`` -- a self-contained demonstration run.
+
+Trains the (dimensionally reduced) paper CNN, deploys it behind the hybrid
+HE+SGX pipeline, runs one encrypted batch and prints the stage breakdown --
+the same flow as ``examples/quickstart.py``, reachable without knowing the
+repository layout.
+
+Options:
+    python -m repro              # quick demo (reduced dimensions)
+    python -m repro --paper      # the paper's 28x28 / 6-kernel dimensions
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+
+def main(argv: list[str]) -> int:
+    paper_dims = "--paper" in argv
+    if set(argv) - {"--paper"}:
+        print(__doc__)
+        return 0 if {"-h", "--help"} & set(argv) else 2
+
+    from repro.core import (
+        HybridPipeline,
+        PlaintextPipeline,
+        parameters_for_pipeline,
+        train_paper_models,
+    )
+
+    dims = dict(image_size=28, channels=6, kernel_size=5) if paper_dims else dict(
+        image_size=12, channels=2, kernel_size=3
+    )
+    print("repro: Privacy-Preserving NN Inference via HE + SGX (ICDCS 2021)")
+    print(f"dimensions: {dims}\n")
+    models = train_paper_models(train_size=600, test_size=150, epochs=6, **dims)
+    quantized = models.quantized_sigmoid()
+    params = parameters_for_pipeline(quantized, poly_degree=1024)
+    print(f"parameters: {params.describe()}")
+
+    pipeline = HybridPipeline(quantized, params, seed=7)
+    images = models.dataset.test_images[:4]
+    result = pipeline.infer(images)
+    print(result.describe())
+
+    plain = PlaintextPipeline(quantized).infer(images)
+    exact = np.array_equal(result.logits, plain.logits)
+    print(f"\nencrypted == plaintext logits: {exact}")
+    print(f"predictions: {result.predictions.tolist()} "
+          f"(labels: {models.dataset.test_labels[:4].tolist()})")
+    return 0 if exact else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,28 @@
+"""Benchmark harness: paper-format statistics, table printers, workloads."""
+
+from repro.bench.stats import Summary, measure_repeated, measure_simulated, t_quantile_96
+from repro.bench.tables import format_series, format_table, markdown_table
+from repro.bench.workloads import (
+    SCALES,
+    BenchScale,
+    current_scale,
+    hybrid_parameters,
+    pure_he_parameters,
+    trained_models,
+)
+
+__all__ = [
+    "BenchScale",
+    "SCALES",
+    "Summary",
+    "current_scale",
+    "format_series",
+    "format_table",
+    "hybrid_parameters",
+    "markdown_table",
+    "measure_repeated",
+    "measure_simulated",
+    "pure_he_parameters",
+    "t_quantile_96",
+    "trained_models",
+]

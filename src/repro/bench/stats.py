@@ -1,0 +1,107 @@
+"""Measurement statistics in the paper's reporting format.
+
+Every table in the paper reports *average, STD and a 96% confidence
+interval* over repeated runs; :class:`Summary` reproduces exactly those
+columns (Student-t interval, matching small-sample practice).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import ReproError
+from repro.sgx.clock import SimClock
+
+# Two-sided 96% Student-t quantiles (df -> t); the normal limit covers df > 120.
+_T_96 = {
+    1: 15.895, 2: 4.849, 3: 3.482, 4: 2.999, 5: 2.757, 6: 2.612, 7: 2.517,
+    8: 2.449, 9: 2.398, 10: 2.359, 12: 2.303, 15: 2.249, 20: 2.197,
+    30: 2.147, 40: 2.123, 60: 2.099, 120: 2.076,
+}
+_T_96_NORMAL = 2.054
+
+
+def t_quantile_96(df: int) -> float:
+    """Two-sided 96% Student-t critical value for ``df`` degrees of freedom."""
+    if df < 1:
+        raise ReproError("need at least two samples for a confidence interval")
+    if df in _T_96:
+        return _T_96[df]
+    keys = sorted(_T_96)
+    if df > keys[-1]:
+        return _T_96_NORMAL
+    lower = max(k for k in keys if k < df)
+    upper = min(k for k in keys if k > df)
+    frac = (df - lower) / (upper - lower)
+    return _T_96[lower] + frac * (_T_96[upper] - _T_96[lower])
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Average / STD / 96% CI of a sample, in the paper's table format."""
+
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    count: int
+
+    @classmethod
+    def of(cls, samples: Sequence[float]) -> "Summary":
+        n = len(samples)
+        if n == 0:
+            raise ReproError("cannot summarize an empty sample")
+        mean = sum(samples) / n
+        if n == 1:
+            return cls(mean=mean, std=0.0, ci_low=mean, ci_high=mean, count=1)
+        variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+        std = math.sqrt(variance)
+        half = t_quantile_96(n - 1) * std / math.sqrt(n)
+        return cls(mean=mean, std=std, ci_low=mean - half, ci_high=mean + half, count=n)
+
+    def row(self, unit_scale: float = 1.0, digits: int = 3) -> list[str]:
+        """``[average, STD, 96% CI]`` formatted like the paper's tables."""
+        fmt = f"{{:.{digits}f}}"
+        return [
+            fmt.format(self.mean * unit_scale),
+            fmt.format(self.std * unit_scale),
+            f"[{fmt.format(self.ci_low * unit_scale)}, {fmt.format(self.ci_high * unit_scale)}]",
+        ]
+
+
+def measure_repeated(fn: Callable[[], object], repeats: int) -> list[float]:
+    """Wall-clock seconds of ``repeats`` calls to ``fn``."""
+    import time
+
+    if repeats < 1:
+        raise ReproError("repeats must be >= 1")
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def measure_simulated(
+    fn: Callable[[], object], clock: SimClock, repeats: int
+) -> list[float]:
+    """Simulated seconds (real + modeled SGX overhead) per call.
+
+    This is the measurement that reproduces the paper's inside-SGX columns:
+    wall time alone cannot see the modeled enclave costs.
+    """
+    import time
+
+    if repeats < 1:
+        raise ReproError("repeats must be >= 1")
+    samples = []
+    for _ in range(repeats):
+        overhead_before = clock.overhead_s
+        start = time.perf_counter()
+        fn()
+        real = time.perf_counter() - start
+        samples.append(real + clock.overhead_s - overhead_before)
+    return samples

@@ -1,0 +1,67 @@
+"""Plain-text table and series printers for the benchmark harness.
+
+Benchmarks print the same rows/columns the paper's tables report and the
+same series its figures plot, so EXPERIMENTS.md can be filled by running
+each bench and pasting its output.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = ""
+) -> str:
+    """Monospace table with aligned columns."""
+    if not rows:
+        raise ReproError("a table needs at least one row")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    rule = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(rule)
+    for row in rows:
+        lines.append(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    digits: int = 4,
+) -> str:
+    """A figure's data as a table: one x column plus one column per line."""
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ReproError(f"series {name!r} length mismatch with x values")
+    headers = [x_label, *names]
+    rows = [
+        [str(x), *(f"{series[name][i]:.{digits}f}" for name in names)]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """GitHub-flavoured markdown table (for pasting into EXPERIMENTS.md)."""
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)

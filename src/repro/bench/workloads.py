@@ -1,0 +1,99 @@
+"""Shared benchmark workloads: scaled deployments of the paper's setup.
+
+Pure-Python FV is orders of magnitude slower than SEAL's C++, so benchmarks
+run at a *scale* -- a bundle of polynomial degree, image size, channel count
+and repetition counts -- chosen via the ``REPRO_BENCH_SCALE`` environment
+variable (``tiny`` | ``small`` | ``paper``).  ``paper`` uses the paper's
+dimensions (n = 1024, 28 x 28 images, 6 kernels, batchSize 10) and takes
+correspondingly long; ``small`` is the default and preserves every shape
+claim at a fraction of the cost.  EXPERIMENTS.md records which scale
+produced each number.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core import TrainedModels, parameters_for_pipeline, train_paper_models
+from repro.errors import ReproError
+from repro.he.params import EncryptionParams
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """One benchmark scale bundle."""
+
+    name: str
+    poly_degree: int
+    image_size: int
+    channels: int
+    kernel_size: int
+    batch_size: int  # the paper's batchSize (images per measured batch)
+    repeats: int  # repetitions per statistic (paper: 1000)
+    train_size: int
+    epochs: int
+
+    @property
+    def conv_output(self) -> int:
+        return self.image_size - self.kernel_size + 1
+
+
+SCALES = {
+    "tiny": BenchScale(
+        name="tiny", poly_degree=256, image_size=10, channels=2, kernel_size=3,
+        batch_size=2, repeats=5, train_size=300, epochs=3,
+    ),
+    "small": BenchScale(
+        name="small", poly_degree=1024, image_size=12, channels=2, kernel_size=3,
+        batch_size=2, repeats=10, train_size=600, epochs=6,
+    ),
+    "paper": BenchScale(
+        name="paper", poly_degree=1024, image_size=28, channels=6, kernel_size=5,
+        batch_size=10, repeats=30, train_size=1200, epochs=10,
+    ),
+}
+
+
+def current_scale() -> BenchScale:
+    """The scale selected by ``REPRO_BENCH_SCALE`` (default ``small``)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "small")
+    scale = SCALES.get(name)
+    if scale is None:
+        raise ReproError(
+            f"unknown REPRO_BENCH_SCALE={name!r}; choose from {sorted(SCALES)}"
+        )
+    return scale
+
+
+@lru_cache(maxsize=None)
+def trained_models(scale_name: str) -> TrainedModels:
+    """Train (once per process) the model pair for a scale."""
+    scale = SCALES[scale_name]
+    return train_paper_models(
+        train_size=scale.train_size,
+        test_size=max(50, scale.train_size // 4),
+        epochs=scale.epochs,
+        image_size=scale.image_size,
+        channels=scale.channels,
+        kernel_size=scale.kernel_size,
+    )
+
+
+@lru_cache(maxsize=None)
+def hybrid_parameters(scale_name: str) -> EncryptionParams:
+    scale = SCALES[scale_name]
+    models = trained_models(scale_name)
+    return parameters_for_pipeline(
+        models.quantized_sigmoid(), scale.poly_degree, name=f"{scale_name}_hybrid"
+    )
+
+
+@lru_cache(maxsize=None)
+def pure_he_parameters(scale_name: str) -> EncryptionParams:
+    scale = SCALES[scale_name]
+    models = trained_models(scale_name)
+    return parameters_for_pipeline(
+        models.quantized_square(), scale.poly_degree, name=f"{scale_name}_pure_he"
+    )

@@ -1,0 +1,110 @@
+"""The paper's contribution: privacy-preserving CNN inference pipelines.
+
+Public surface:
+
+* :class:`PlaintextPipeline` / :class:`FloatPipeline` -- accuracy references.
+* :class:`CryptonetsPipeline` -- the pure-HE ``Encrypted`` baseline.
+* :class:`HybridPipeline` -- the hybrid HE+SGX framework
+  (``EncryptSGX`` / ``EncryptSGX(single)`` / ``EncryptFakeSGX`` modes).
+* :class:`InferenceEnclave` -- the trusted co-processor + key authority.
+* Key distribution: :class:`TrustedThirdParty` (Fig. 1 baseline) vs the
+  attested flow (:func:`establish_user_keys`, :class:`UserClient`).
+* Policies: :class:`PoolingPlacementPolicy` (Fig. 6 crossover) and
+  :class:`RefreshPolicy` (Table V relinearization-vs-refresh choice).
+* :func:`parameters_for_pipeline` / :func:`train_paper_models` -- sizing and
+  model factories.
+"""
+
+from repro.core.config import (
+    TrainedModels,
+    parameters_for_pipeline,
+    required_budget_bits,
+    train_paper_models,
+)
+from repro.core.cryptonets import CryptonetsPipeline
+from repro.core.deep import DeepHybridPipeline, pure_he_modulus_bits_for_depth
+from repro.core.enclave_service import ACTIVATIONS, InferenceEnclave
+from repro.core.heops import (
+    EncodedConvWeights,
+    EncodedDenseWeights,
+    encode_conv_weights,
+    encode_dense_weights,
+    he_conv2d,
+    he_dense,
+    he_scaled_mean_pool,
+    he_square,
+)
+from repro.core.hybrid import MODES, HybridPipeline
+from repro.core.keyflow import (
+    DeliveredKeys,
+    SgxKeyDistribution,
+    TrustedThirdParty,
+    UserClient,
+    establish_user_keys,
+)
+from repro.core.placement import (
+    MeasuredChoice,
+    PoolingPlacementPolicy,
+    PoolStrategy,
+    measure_placement,
+    pool_with_strategy,
+)
+from repro.core.plaintext import FloatPipeline, PlaintextPipeline
+from repro.core.refresh import (
+    RefreshOutcome,
+    RefreshPolicy,
+    refresh,
+    relinearize_refresh,
+    sgx_refresh,
+    sgx_refresh_one_by_one,
+)
+from repro.core.results import InferenceResult, StageTiming
+from repro.core.server import EdgeServer, ServedResult, UserSession
+from repro.core.simd import SimdHybridPipeline, SlotCodec
+
+__all__ = [
+    "ACTIVATIONS",
+    "CryptonetsPipeline",
+    "DeepHybridPipeline",
+    "DeliveredKeys",
+    "EdgeServer",
+    "EncodedConvWeights",
+    "EncodedDenseWeights",
+    "FloatPipeline",
+    "HybridPipeline",
+    "InferenceEnclave",
+    "InferenceResult",
+    "MODES",
+    "MeasuredChoice",
+    "PlaintextPipeline",
+    "PoolStrategy",
+    "PoolingPlacementPolicy",
+    "RefreshOutcome",
+    "RefreshPolicy",
+    "ServedResult",
+    "SgxKeyDistribution",
+    "UserSession",
+    "SimdHybridPipeline",
+    "SlotCodec",
+    "StageTiming",
+    "TrainedModels",
+    "TrustedThirdParty",
+    "UserClient",
+    "encode_conv_weights",
+    "encode_dense_weights",
+    "establish_user_keys",
+    "he_conv2d",
+    "he_dense",
+    "he_scaled_mean_pool",
+    "he_square",
+    "measure_placement",
+    "parameters_for_pipeline",
+    "pool_with_strategy",
+    "pure_he_modulus_bits_for_depth",
+    "refresh",
+    "relinearize_refresh",
+    "required_budget_bits",
+    "sgx_refresh",
+    "sgx_refresh_one_by_one",
+    "train_paper_models",
+]

@@ -1,0 +1,150 @@
+"""The ``Encrypted`` baseline: pure-HE CryptoNets-style inference.
+
+Everything runs homomorphically on the untrusted edge server (paper
+Section III-A / CryptoNets):
+
+* convolution and FC: C x P multiplications + C + C additions;
+* activation: the Square polynomial substitute (a real ciphertext-ciphertext
+  multiplication), followed by relinearization with TTP-issued keys;
+* pooling: the division-free scaled mean-pool (window sum);
+* nothing is ever decrypted server-side.
+
+Accuracy consequence: the model must have been *trained* with these
+substitutes (`repro.nn.model.cryptonets_cnn`), and the plaintext modulus
+must absorb squared magnitudes -- the accuracy/cost trade-off the hybrid
+framework removes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import heops
+from repro.core.results import InferenceResult, StageTiming
+from repro.errors import PipelineError
+from repro.he.context import Context
+from repro.he.decryptor import Decryptor
+from repro.he.encoders import ScalarEncoder
+from repro.he.encryptor import Encryptor
+from repro.he.evaluator import Evaluator, OperationCounter
+from repro.he.keys import KeyGenerator
+from repro.he.params import EncryptionParams
+from repro.nn.quantize import QuantizedCNN
+from repro.sgx.clock import ClockWindow, SimClock
+
+
+class CryptonetsPipeline:
+    """Pure-HE inference (the paper's ``Encrypted`` comparison scheme).
+
+    The pipeline plays both user (encrypt/decrypt) and server (evaluate)
+    roles so benchmarks can time each stage; key *distribution* is a
+    separate concern covered by :mod:`repro.core.keyflow` -- note that this
+    baseline structurally needs the TTP for its relinearization keys.
+
+    Args:
+        quantized: integer model with ``activation="square"``.
+        params: FV parameters; must fit ``quantized.required_plain_modulus()``.
+        seed: reproducible key/encryption randomness.
+        clock: shared simulated clock (a fresh one by default).
+    """
+
+    scheme = "Encrypted"
+
+    def __init__(
+        self,
+        quantized: QuantizedCNN,
+        params: EncryptionParams,
+        seed: int | None = None,
+        clock: SimClock | None = None,
+    ) -> None:
+        if quantized.activation != "square":
+            raise PipelineError(
+                "the pure-HE baseline cannot evaluate a non-polynomial "
+                "activation; quantize a cryptonets_cnn model (Square + "
+                "ScaledMeanPool2D) instead"
+            )
+        if not quantized.fits_plain_modulus(params.plain_modulus):
+            raise PipelineError(
+                f"plain_modulus {params.plain_modulus} cannot hold the squared "
+                f"intermediates (need >= {quantized.required_plain_modulus()})"
+            )
+        self.quantized = quantized
+        self.context = Context(params)
+        self.clock = clock if clock is not None else SimClock()
+        rng = np.random.default_rng(seed)
+        keygen = KeyGenerator(self.context, rng)
+        self._keys = keygen.generate()
+        self._relin_keys = keygen.relin_keys(self._keys.secret)
+        self.counter = OperationCounter()
+        self.evaluator = Evaluator(self.context, self.counter)
+        self.encoder = ScalarEncoder(self.context)
+        self.encryptor = Encryptor(self.context, self._keys.public, rng)
+        self.decryptor = Decryptor(self.context, self._keys.secret)
+        # Weight encoding happens once, ahead of service (Section IV-B).
+        self.conv_weights = heops.encode_conv_weights(
+            self.evaluator,
+            self.encoder,
+            quantized.conv_weight,
+            quantized.conv_bias,
+            quantized.stride,
+        )
+        self.dense_weights = heops.encode_dense_weights(
+            self.evaluator,
+            self.encoder,
+            quantized.dense_weight,
+            quantized.dense_bias,
+        )
+
+    def encrypt_images(self, images: np.ndarray):
+        """User side: one ciphertext per pixel (the paper's non-SIMD encoding)."""
+        pixels = self.quantized.quantize_images(images)
+        return self.encryptor.encrypt(self.encoder.encode(pixels))
+
+    def infer(self, images: np.ndarray) -> InferenceResult:
+        stages: list[StageTiming] = []
+        window = ClockWindow(self.clock)
+
+        def finish(name: str) -> None:
+            stages.append(StageTiming(name, window.real_s, window.overhead_s))
+            window.restart()
+
+        with self.clock.measure_real():
+            ct = self.encrypt_images(images)
+        finish("encrypt")
+
+        with self.clock.measure_real():
+            conv = heops.he_conv2d(self.evaluator, self.encoder, ct, self.conv_weights)
+        finish("conv")
+
+        with self.clock.measure_real():
+            squared = heops.he_square(self.evaluator, conv)
+        finish("square")
+
+        with self.clock.measure_real():
+            relined = self.evaluator.relinearize(squared, self._relin_keys)
+        finish("relinearize")
+
+        with self.clock.measure_real():
+            pooled = heops.he_scaled_mean_pool(
+                self.evaluator, relined, self.quantized.pool_window
+            )
+        finish("pool")
+
+        with self.clock.measure_real():
+            logits_ct = heops.he_dense(
+                self.evaluator, self.encoder, pooled, self.dense_weights
+            )
+        finish("fc")
+
+        budget = self.decryptor.invariant_noise_budget(logits_ct)
+        with self.clock.measure_real():
+            logits = self.encoder.decode(self.decryptor.decrypt(logits_ct))
+        finish("decrypt")
+
+        return InferenceResult(
+            logits=logits,
+            stages=stages,
+            scheme=self.scheme,
+            noise_budget_bits=budget,
+            op_counts=dict(self.counter.counts),
+        )

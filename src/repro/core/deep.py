@@ -1,0 +1,160 @@
+"""Deep hybrid inference: the framework past the paper's single block.
+
+The paper's Section VIII concedes that building large networks under pure
+HE is "challenging" -- every extra multiplication level inflates the
+coefficient modulus and the runtime.  The hybrid framework does not have
+that problem: the enclave re-encrypts at every activation, so homomorphic
+noise never accumulates across blocks and *one* modest parameter set serves
+any depth.  :class:`DeepHybridPipeline` demonstrates it by running
+multi-block CNNs (see :mod:`repro.nn.deep`) block by block:
+
+    HE conv (outside) -> enclave activation+pool -> HE conv -> ... -> HE FC
+
+``benchmarks/bench_ablation_depth.py`` quantifies the asymmetry against a
+hypothetical pure-HE evaluation of the same depth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import heops
+from repro.core.enclave_service import InferenceEnclave
+from repro.core.keyflow import establish_user_keys
+from repro.core.results import InferenceResult, StageTiming
+from repro.errors import PipelineError
+from repro.he.context import Context
+from repro.he.decryptor import Decryptor
+from repro.he.encoders import ScalarEncoder
+from repro.he.encryptor import Encryptor
+from repro.he.evaluator import Evaluator, OperationCounter
+from repro.he.params import EncryptionParams
+from repro.nn.deep import DeepQuantizedCNN
+from repro.sgx.attestation import AttestationVerificationService, QuotingService
+from repro.sgx.clock import ClockWindow
+from repro.sgx.enclave import SgxPlatform
+
+
+class DeepHybridPipeline:
+    """Hybrid HE+SGX inference over multi-block quantized CNNs.
+
+    Args:
+        quantized: a :class:`~repro.nn.deep.DeepQuantizedCNN`.
+        params: FV parameters sized for ONE linear layer (depth-independent).
+        platform: simulated SGX machine.
+        seed: reproducible randomness.
+    """
+
+    scheme = "DeepEncryptSGX"
+
+    def __init__(
+        self,
+        quantized: DeepQuantizedCNN,
+        params: EncryptionParams,
+        platform: SgxPlatform | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if not quantized.fits_plain_modulus(params.plain_modulus):
+            raise PipelineError(
+                f"plain_modulus {params.plain_modulus} cannot hold the "
+                f"intermediates (need >= {quantized.required_plain_modulus()})"
+            )
+        self.quantized = quantized
+        self.params = params
+        self.platform = platform if platform is not None else SgxPlatform()
+        self.clock = self.platform.clock
+        self.context = Context(params)
+        self.enclave = self.platform.load_enclave(InferenceEnclave, params, seed)
+        self.enclave.ecall("generate_keys")
+        self.quoting = QuotingService(self.platform)
+        self.verifier = AttestationVerificationService()
+        self.verifier.register_platform(self.quoting)
+        user_keys = establish_user_keys(
+            self.platform, self.enclave, self.quoting, self.verifier, params,
+            np.random.default_rng(seed).bytes(32),
+        )
+        self.counter = OperationCounter()
+        self.evaluator = Evaluator(self.context, self.counter)
+        self.encoder = ScalarEncoder(self.context)
+        self.encryptor = Encryptor(self.context, user_keys.public, np.random.default_rng(seed))
+        self.decryptor = Decryptor(self.context, user_keys.secret)
+        self.block_weights = [
+            heops.encode_conv_weights(
+                self.evaluator, self.encoder, block.weight, block.bias, block.stride
+            )
+            for block in quantized.blocks
+        ]
+        self.dense_weights = heops.encode_dense_weights(
+            self.evaluator, self.encoder, quantized.dense_weight, quantized.dense_bias
+        )
+
+    def encrypt_images(self, images: np.ndarray):
+        pixels = self.quantized.quantize_images(images)
+        return self.encryptor.encrypt(self.encoder.encode(pixels))
+
+    def infer(self, images: np.ndarray) -> InferenceResult:
+        stages: list[StageTiming] = []
+        window = ClockWindow(self.clock)
+        crossings_before = self.enclave.side_channel.count("ecall")
+
+        def finish(name: str) -> None:
+            stages.append(StageTiming(name, window.real_s, window.overhead_s))
+            window.restart()
+
+        with self.clock.measure_real():
+            ct = self.encrypt_images(images)
+        finish("encrypt")
+
+        for i, (block, weights) in enumerate(
+            zip(self.quantized.blocks, self.block_weights)
+        ):
+            with self.clock.measure_real():
+                conv = heops.he_conv2d(self.evaluator, self.encoder, ct, weights)
+            finish(f"conv_{i}")
+            in_scale = self.quantized.block_input_scale(i) * block.weight_scale
+            ct = self.enclave.ecall(
+                "activation_pool",
+                conv,
+                in_scale,
+                block.act_scale,
+                block.pool_window,
+                block.activation,
+                block.pool,
+            )
+            finish(f"sgx_block_{i}")
+
+        with self.clock.measure_real():
+            logits_ct = heops.he_dense(self.evaluator, self.encoder, ct, self.dense_weights)
+        finish("fc")
+
+        budget = self.decryptor.invariant_noise_budget(logits_ct)
+        with self.clock.measure_real():
+            logits = self.encoder.decode(self.decryptor.decrypt(logits_ct))
+        finish("decrypt")
+
+        return InferenceResult(
+            logits=logits,
+            stages=stages,
+            scheme=self.scheme,
+            noise_budget_bits=budget,
+            op_counts=dict(self.counter.counts),
+            enclave_crossings=self.enclave.side_channel.count("ecall") - crossings_before,
+        )
+
+
+def pure_he_modulus_bits_for_depth(
+    depth: int, plain_bits: float, poly_degree: int, margin_bits: float = 8.0
+) -> float:
+    """Estimate the log2(q) a *pure-HE* evaluation of ``depth`` multiplicative
+    levels would need (no enclave refresh, CryptoNets-style squares).
+
+    Uses the :class:`~repro.he.noise.NoiseEstimator` cost model: each level
+    costs about ``log2(t) + log2(n) + c`` bits of budget.  The deep hybrid
+    never needs more than one level -- this function is the analytic half of
+    the depth ablation.
+    """
+    import math
+
+    fresh_overhead = plain_bits + math.log2(2 * 6.0 * 3.2 * (2 * poly_degree + 1))
+    per_level = plain_bits + math.log2(poly_degree) + 3.0
+    return fresh_overhead + depth * per_level + margin_bits

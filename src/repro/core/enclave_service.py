@@ -1,0 +1,318 @@
+"""The edge server's inference enclave: trusted code of the hybrid framework.
+
+One enclave class covers every trusted duty the paper assigns to SGX:
+
+* **Key authority** (Section IV-A): generates the FV key pair *inside* the
+  enclave and releases the private key only through the attested
+  secure-channel handshake -- no external trusted third party.
+* **Relinearization-key generation** (Section III-A): the evaluation keys
+  require the secret key, so the enclave produces them for the untrusted
+  evaluator.
+* **Plaintext computing** (Section IV-D): activation functions and pooling
+  are decrypted, computed exactly, and re-encrypted inside the enclave.
+* **Noise refresh** (Section IV-E): decrypt/re-encrypt replaces
+  relinearization, resetting ciphertext noise to fresh level.
+
+The secret key never appears in any ECALL return value except the encrypted
+key-exchange payload; a test asserts this boundary.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.core import securechannel
+from repro.errors import PipelineError
+from repro.he.context import Ciphertext, Context, Plaintext
+from repro.he.decryptor import Decryptor
+from repro.he.encryptor import SymmetricEncryptor
+from repro.he.keys import KeyGenerator, PublicKey, RelinKeys
+from repro.he.params import EncryptionParams
+from repro.he.serialize import serialize_public_key, serialize_secret_key
+from repro.nn.layers import LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.sgx.enclave import Enclave
+from repro.sgx.ecall import ecall
+
+#: Activation functions the enclave can evaluate exactly (paper Section VI-C:
+#: "SGX enables the calculation of diverse activation functions flexibly").
+ACTIVATIONS = {
+    "sigmoid": Sigmoid.apply,
+    "relu": ReLU.apply,
+    "tanh": Tanh.apply,
+    "leaky_relu": lambda x: LeakyReLU(0.01).forward(x),
+}
+
+
+class InferenceEnclave(Enclave):
+    """Trusted co-processor for the hybrid HE+SGX pipeline.
+
+    Args:
+        params: FV parameter set the service operates under.
+        seed: deterministic randomness for reproducible benchmarks.
+    """
+
+    def __init__(self, params: EncryptionParams, seed: int | None = None) -> None:
+        super().__init__()
+        self._context = Context(params)
+        self._rng = np.random.default_rng(seed)
+        self._keygen = KeyGenerator(self._context, self._rng)
+        self._keys = None
+        self._decryptor: Decryptor | None = None
+        self._encryptor: SymmetricEncryptor | None = None
+
+    # ------------------------------------------------------------------
+    # key authority
+    # ------------------------------------------------------------------
+    @ecall
+    def generate_keys(self) -> PublicKey:
+        """FV key generation inside the enclave; only the public key leaves."""
+        self._keys = self._keygen.generate()
+        self._decryptor = Decryptor(self._context, self._keys.secret)
+        self._encryptor = SymmetricEncryptor(self._context, self._keys.secret, self._rng)
+        return self._keys.public
+
+    @ecall
+    def get_public_key(self) -> PublicKey:
+        self._require_keys()
+        return self._keys.public
+
+    @ecall
+    def generate_relin_keys(self) -> RelinKeys:
+        """Evaluation keys for the untrusted evaluator (needs the secret)."""
+        self._require_keys()
+        return self._keygen.relin_keys(self._keys.secret)
+
+    @ecall
+    def key_exchange(self, user_dh_public: int) -> tuple:
+        """Attested key delivery (Section IV-A).
+
+        Returns ``(sealed_message, user_data)``: the FV key pair encrypted
+        under the DH session key, and the user_data -- enclave DH share plus
+        payload digest -- that this call approves for the next report.  The
+        host forwards both, plus the quote over ``user_data``, to the user.
+        """
+        self._require_keys()
+        entropy = self._rng.bytes(32)
+        dh = securechannel.DhKeyPair.generate(entropy)
+        session_key = dh.shared_secret(user_dh_public)
+        payload = _pack_key_pair(
+            serialize_public_key(self._keys.public),
+            serialize_secret_key(self._keys.secret),
+        )
+        nonce = self._rng.bytes(16)
+        message = securechannel.encrypt_message(session_key, payload, nonce)
+        digest = securechannel.payload_digest(
+            message.nonce + message.ciphertext + message.tag
+        )
+        user_data = securechannel.bind_user_data(dh.public, digest)
+        self.attest(user_data)
+        return message, user_data
+
+    # ------------------------------------------------------------------
+    # plaintext computing (Section IV-D)
+    # ------------------------------------------------------------------
+    @ecall
+    def activation_pool(
+        self,
+        ct: Ciphertext,
+        input_scale: float,
+        output_scale: int,
+        window: int,
+        activation: str = "sigmoid",
+        pool: str = "mean",
+    ) -> Ciphertext:
+        """Decrypt, apply the exact activation + pooling, re-encrypt.
+
+        This is the paper's batched ``EncryptSGX`` step: one enclave crossing
+        per feature-map batch instead of one per pixel.  ``pool`` may be
+        ``mean`` or ``max`` -- max-pooling is only computable here
+        (Section VI-D).
+        """
+        values = self._decrypt_values(ct).astype(np.float64) / input_scale
+        activated = self._apply_activation(values, activation)
+        if pool == "max":
+            pooled = _max_pool(activated, window)
+        elif pool == "mean":
+            pooled = _mean_pool(activated, window)
+        else:
+            raise PipelineError(f"unsupported enclave pool {pool!r}")
+        requantized = np.rint(pooled * output_scale).astype(np.int64)
+        return self._encrypt_values(requantized)
+
+    @ecall
+    def sigmoid(self, ct: Ciphertext, input_scale: float, output_scale: int) -> Ciphertext:
+        """Exact sigmoid only (Fig. 5's ``SGXSigmoid`` operation)."""
+        values = self._decrypt_values(ct).astype(np.float64) / input_scale
+        requantized = np.rint(Sigmoid.apply(values) * output_scale).astype(np.int64)
+        return self._encrypt_values(requantized)
+
+    @ecall
+    def divide(self, ct: Ciphertext, divisor: int) -> Ciphertext:
+        """Exact division for mean-pooling (Fig. 6's ``SGXDivide``): the
+        window sum was computed homomorphically outside; only the non-linear
+        division enters the enclave."""
+        if divisor <= 0:
+            raise PipelineError("divisor must be positive")
+        values = self._decrypt_values(ct)
+        quotient = np.rint(values / divisor).astype(np.int64)
+        return self._encrypt_values(quotient)
+
+    @ecall
+    def mean_pool(self, ct: Ciphertext, window: int) -> Ciphertext:
+        """Whole pooling inside the enclave (Fig. 6's ``SGXPool``): the full
+        feature map is decrypted, summed and divided in trusted code."""
+        values = self._decrypt_values(ct)
+        pooled = np.rint(_mean_pool(values.astype(np.float64), window)).astype(np.int64)
+        return self._encrypt_values(pooled)
+
+    @ecall
+    def max_pool(self, ct: Ciphertext, window: int) -> Ciphertext:
+        """Max pooling -- impossible under HE, trivial in the enclave
+        (Section VI-D: "we obviously can only use SGX to perform
+        max-pooling in our scenario")."""
+        values = self._decrypt_values(ct)
+        b, c, h, w = values.shape
+        windows = values.reshape(b, c, h // window, window, w // window, window)
+        return self._encrypt_values(windows.max(axis=(3, 5)))
+
+    @ecall
+    def activation_pool_simd(
+        self,
+        ct: Ciphertext,
+        input_scale: float,
+        output_scale: int,
+        window: int,
+        activation: str = "sigmoid",
+        pool: str = "mean",
+    ) -> Ciphertext:
+        """Slot-packed variant of :meth:`activation_pool` (Section VIII).
+
+        The ciphertext batch is ``(1, C, H, W)`` with user images in the CRT
+        slots; the enclave decrypts, *decodes the slots*, applies the exact
+        activation + pooling to every user simultaneously, re-packs and
+        re-encrypts.
+        """
+        if output_scale > self._context.plain_modulus // 2:
+            raise PipelineError("output_scale exceeds the plaintext range")
+        self._load_crypto_state()
+        codec = self._batch_encoder()
+        plain = self._decryptor.decrypt(ct)
+        slots = codec.decode(plain)  # (1, C, H, W, n)
+        values = np.moveaxis(slots[0], -1, 0).astype(np.float64)  # (n, C, H, W)
+        activated = self._apply_activation(values / input_scale, activation)
+        if pool == "max":
+            pooled = _max_pool(activated, window)
+        elif pool == "mean":
+            pooled = _mean_pool(activated, window)
+        else:
+            raise PipelineError(f"unsupported enclave pool {pool!r}")
+        requantized = np.rint(pooled * output_scale).astype(np.int64)
+        packed = np.moveaxis(requantized, 0, -1)[None, ...]  # (1, C, h, w, n)
+        return self._encryptor.encrypt(codec.encode(packed))
+
+    def _batch_encoder(self):
+        if getattr(self, "_batch_encoder_cache", None) is None:
+            from repro.he.batching import BatchEncoder
+
+            self._batch_encoder_cache = BatchEncoder(self._context)
+        return self._batch_encoder_cache
+
+    # ------------------------------------------------------------------
+    # noise refresh (Section IV-E)
+    # ------------------------------------------------------------------
+    @ecall
+    def refresh(self, ct: Ciphertext) -> Ciphertext:
+        """Decrypt/re-encrypt: removes accumulated noise *and* shrinks
+        size-3 post-multiplication ciphertexts back to size 2 without any
+        relinearization keys."""
+        self._load_crypto_state()
+        plain = self._decryptor.decrypt(ct)
+        return self._encryptor.encrypt(plain)
+
+    # ------------------------------------------------------------------
+    # internals (trusted-only helpers)
+    # ------------------------------------------------------------------
+    def _require_keys(self) -> None:
+        if self._keys is None:
+            raise PipelineError("generate_keys must be called first")
+
+    def _crypto_state_bytes(self) -> int:
+        """In-enclave working set of one crypto operation: the NTT tables of
+        the homomorphic context plus the loaded key material.
+
+        Each crossing pages this state back into the EPC; the paper's
+        Table V / Section VII-B analysis attributes the single-vs-batched
+        gap to exactly this per-crossing key (re)loading.
+        """
+        ring = self._context.ring
+        tables = ring.k * ring.n * 8 * 4  # psi / psi^-1 tables, both directions
+        keys = 0
+        if self._keys is not None:
+            keys = self._keys.secret.byte_size() + self._keys.public.byte_size()
+        return tables + keys
+
+    def _load_crypto_state(self) -> None:
+        self._require_keys()
+        self.touch_working_set(self._crypto_state_bytes())
+
+    def _decrypt_values(self, ct: Ciphertext) -> np.ndarray:
+        self._load_crypto_state()
+        plain = self._decryptor.decrypt(ct)
+        t = self._context.plain_modulus
+        constants = plain.coeffs[..., 0]
+        if plain.coeffs[..., 1:].any():
+            raise PipelineError(
+                "ciphertext does not hold scalar-encoded values; the outside "
+                "computation overflowed or used a different encoder"
+            )
+        return np.where(constants > t // 2, constants - t, constants)
+
+    def _encrypt_values(self, values: np.ndarray) -> Ciphertext:
+        t = self._context.plain_modulus
+        limit = t // 2
+        if (np.abs(values) > limit).any():
+            raise PipelineError(
+                f"re-encryption values exceed the plaintext range +-{limit}"
+            )
+        coeffs = np.zeros((*values.shape, self._context.poly_degree), dtype=np.int64)
+        coeffs[..., 0] = values % t
+        return self._encryptor.encrypt(Plaintext(self._context, coeffs))
+
+    @staticmethod
+    def _apply_activation(values: np.ndarray, name: str) -> np.ndarray:
+        fn = ACTIVATIONS.get(name)
+        if fn is None:
+            raise PipelineError(
+                f"unsupported activation {name!r}; available: {sorted(ACTIVATIONS)}"
+            )
+        return fn(values)
+
+
+def _pool_windows(values: np.ndarray, window: int) -> np.ndarray:
+    if values.ndim != 4:
+        raise PipelineError("pooling expects (B, C, H, W) values")
+    b, c, h, w = values.shape
+    if h % window or w % window:
+        raise PipelineError(f"map {h}x{w} not divisible by window {window}")
+    return values.reshape(b, c, h // window, window, w // window, window)
+
+
+def _mean_pool(values: np.ndarray, window: int) -> np.ndarray:
+    return _pool_windows(values, window).mean(axis=(3, 5))
+
+
+def _max_pool(values: np.ndarray, window: int) -> np.ndarray:
+    return _pool_windows(values, window).max(axis=(3, 5))
+
+
+def _pack_key_pair(public_bytes: bytes, secret_bytes: bytes) -> bytes:
+    return struct.pack("<II", len(public_bytes), len(secret_bytes)) + public_bytes + secret_bytes
+
+
+def unpack_key_pair(payload: bytes) -> tuple[bytes, bytes]:
+    """Inverse of the enclave's key-pair packing (user side)."""
+    pub_len, sec_len = struct.unpack_from("<II", payload, 0)
+    offset = struct.calcsize("<II")
+    return payload[offset : offset + pub_len], payload[offset + pub_len : offset + pub_len + sec_len]

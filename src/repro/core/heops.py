@@ -1,0 +1,191 @@
+"""Homomorphic CNN building blocks shared by both encrypted pipelines.
+
+The paper's framework keeps every *linear* layer under HE outside the
+enclave (Section IV-C): convolution and the fully connected layer decompose
+into ciphertext-plaintext multiplications (``C x P``) and ciphertext
+additions (``C + C``).  These helpers operate on *batched* ciphertexts whose
+batch axes mirror the tensor layout ``(B, C, H, W)``, one ciphertext per
+pixel, exactly the paper's non-SIMD encoding.
+
+Weights are pre-encoded once (Section IV-B / Fig. 3) via
+:func:`encode_weights`; the returned operand table is reused across every
+inference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PipelineError
+from repro.he.context import Ciphertext
+from repro.he.encoders import ScalarEncoder
+from repro.he.evaluator import Evaluator, PlainOperand
+
+
+class EncodedConvWeights:
+    """NTT-precomputed conv weights + integer bias.
+
+    Attributes:
+        operands: object array ``(F, C, k, k)`` of :class:`PlainOperand`.
+        bias: int64 array ``(F,)`` at conv-output scale.
+    """
+
+    def __init__(self, operands: np.ndarray, bias: np.ndarray, stride: int) -> None:
+        self.operands = operands
+        self.bias = bias
+        self.stride = stride
+
+    @property
+    def out_channels(self) -> int:
+        return self.operands.shape[0]
+
+    @property
+    def kernel_size(self) -> int:
+        return self.operands.shape[-1]
+
+
+class EncodedDenseWeights:
+    """NTT-precomputed FC weights + integer bias.
+
+    Attributes:
+        operands: list of ``(D,)``-batched :class:`PlainOperand`, one per
+            output class (row-major over the flattened input).
+        bias: int64 array ``(O,)`` at logit scale.
+    """
+
+    def __init__(self, operands: list[PlainOperand], bias: np.ndarray) -> None:
+        self.operands = operands
+        self.bias = bias
+
+    @property
+    def out_features(self) -> int:
+        return len(self.operands)
+
+
+def encode_conv_weights(
+    evaluator: Evaluator,
+    encoder: ScalarEncoder,
+    weight: np.ndarray,
+    bias: np.ndarray,
+    stride: int = 1,
+) -> EncodedConvWeights:
+    """Encode integer conv weights into reusable NTT plaintext operands."""
+    f, c, kh, kw = weight.shape
+    operands = np.empty((f, c, kh, kw), dtype=object)
+    for fi in range(f):
+        for ci in range(c):
+            for i in range(kh):
+                for j in range(kw):
+                    operands[fi, ci, i, j] = evaluator.transform_plain(
+                        encoder.encode(int(weight[fi, ci, i, j]))
+                    )
+    return EncodedConvWeights(operands, np.asarray(bias, dtype=np.int64), stride)
+
+
+def encode_dense_weights(
+    evaluator: Evaluator,
+    encoder: ScalarEncoder,
+    weight: np.ndarray,
+    bias: np.ndarray,
+) -> EncodedDenseWeights:
+    """Encode integer FC weights, one batched operand per output class."""
+    d, o = weight.shape
+    operands = [
+        evaluator.transform_plain(encoder.encode(weight[:, oi])) for oi in range(o)
+    ]
+    return EncodedDenseWeights(operands, np.asarray(bias, dtype=np.int64))
+
+
+def he_conv2d(
+    evaluator: Evaluator,
+    encoder: ScalarEncoder,
+    ct: Ciphertext,
+    weights: EncodedConvWeights,
+) -> Ciphertext:
+    """Homomorphic convolution over a ``(B, C, H, W)`` ciphertext batch.
+
+    For each kernel tap the input window slice (a strided view over the
+    batch axes) is multiplied by the encoded scalar weight and accumulated,
+    i.e. ``k*k*C`` C x P and C + C operations per output map -- the exact op
+    structure Fig. 4 measures.
+    """
+    if len(ct.batch_shape) != 4:
+        raise PipelineError(
+            f"he_conv2d expects a (B, C, H, W) ciphertext batch, got {ct.batch_shape}"
+        )
+    b, c, h, w = ct.batch_shape
+    if c != weights.operands.shape[1]:
+        raise PipelineError(
+            f"ciphertext has {c} channels, weights expect {weights.operands.shape[1]}"
+        )
+    k = weights.kernel_size
+    s = weights.stride
+    oh = (h - k) // s + 1
+    ow = (w - k) // s + 1
+    per_channel: list[Ciphertext] = []
+    for fi in range(weights.out_channels):
+        acc: Ciphertext | None = None
+        for ci in range(c):
+            for i in range(k):
+                for j in range(k):
+                    window = ct[:, ci, i : i + oh * s : s, j : j + ow * s : s]
+                    term = evaluator.multiply_plain(window, weights.operands[fi, ci, i, j])
+                    acc = term if acc is None else evaluator.add(acc, term)
+        bias_plain = encoder.encode(
+            np.full((b, oh, ow), int(weights.bias[fi]), dtype=np.int64)
+        )
+        per_channel.append(evaluator.add_plain(acc, bias_plain))
+    data = np.stack([m.data for m in per_channel], axis=1)
+    return Ciphertext(ct.context, data, is_ntt=per_channel[0].is_ntt)
+
+
+def he_square(evaluator: Evaluator, ct: Ciphertext) -> Ciphertext:
+    """CryptoNets activation: homomorphic elementwise square (size 2 -> 3)."""
+    return evaluator.square(ct)
+
+
+def he_scaled_mean_pool(
+    evaluator: Evaluator, ct: Ciphertext, window: int
+) -> Ciphertext:
+    """Division-free pooling: homomorphic window sum (``EncryptedSum``)."""
+    if len(ct.batch_shape) != 4:
+        raise PipelineError("he_scaled_mean_pool expects a (B, C, H, W) batch")
+    _, _, h, w = ct.batch_shape
+    if h % window or w % window:
+        raise PipelineError(f"feature map {h}x{w} not divisible by window {window}")
+    acc: Ciphertext | None = None
+    for i in range(window):
+        for j in range(window):
+            piece = ct[:, :, i::window, j::window]
+            acc = piece if acc is None else evaluator.add(acc, piece)
+    return acc
+
+
+def he_dense(
+    evaluator: Evaluator,
+    encoder: ScalarEncoder,
+    ct: Ciphertext,
+    weights: EncodedDenseWeights,
+) -> Ciphertext:
+    """Homomorphic fully connected layer over a flattened ciphertext batch.
+
+    Produces a ``(B, O)`` ciphertext of scaled logits: for every output
+    class the flattened input batch is multiplied slot-wise by that class's
+    weight vector and folded with a batched C + C reduction.
+    """
+    b = ct.batch_shape[0]
+    flat = ct.reshape(b, -1)
+    d = flat.batch_shape[1]
+    outputs: list[Ciphertext] = []
+    for oi, operand in enumerate(weights.operands):
+        if operand.batch_shape != (d,):
+            raise PipelineError(
+                f"dense operand {oi} covers {operand.batch_shape} inputs, "
+                f"ciphertext provides {d}"
+            )
+        products = evaluator.multiply_plain(flat, operand)
+        summed = evaluator.sum_batch(products, axis=1)
+        bias_plain = encoder.encode(np.full((b,), int(weights.bias[oi]), dtype=np.int64))
+        outputs.append(evaluator.add_plain(summed, bias_plain))
+    data = np.stack([o.data for o in outputs], axis=1)
+    return Ciphertext(ct.context, data, is_ntt=outputs[0].is_ntt)

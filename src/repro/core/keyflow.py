@@ -1,0 +1,173 @@
+"""Key distribution flows: TTP baseline (Fig. 1) vs SGX attestation (Fig. 2).
+
+The paper's first contribution claim is replacing the external trusted third
+party of HE deployments with the enclave itself.  This module implements
+both flows so the benchmarks can compare them and the tests can demonstrate
+the TTP's structural weaknesses (full key knowledge, interceptable channel)
+against the attested flow's guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import securechannel
+from repro.core.enclave_service import InferenceEnclave, unpack_key_pair
+from repro.errors import AttestationError
+from repro.he.context import Context
+from repro.he.keys import KeyGenerator, KeyPair, PublicKey, RelinKeys, SecretKey
+from repro.he.params import EncryptionParams
+from repro.he.serialize import deserialize_public_key, deserialize_secret_key
+from repro.sgx.attestation import AttestationVerificationService, QuotingService
+from repro.sgx.enclave import EnclaveHandle, SgxPlatform
+
+
+@dataclass
+class DeliveredKeys:
+    """What a user ends up holding after either flow."""
+
+    public: PublicKey
+    secret: SecretKey
+
+
+class TrustedThirdParty:
+    """The Fig. 1 baseline: an external PKI-style key authority.
+
+    Structural properties the paper criticizes (Section III-A), made
+    explicit here so tests and docs can point at them:
+
+    * the TTP itself knows every user's private key (``knows_secret_of``);
+    * keys transit a plain channel an eavesdropper can copy
+      (``wiretap_log``);
+    * the evaluating party must come back for relinearization keys, adding
+      communication rounds (``communication_rounds``).
+    """
+
+    def __init__(self, params: EncryptionParams, seed: int | None = None) -> None:
+        self.context = Context(params)
+        self._keygen = KeyGenerator(self.context, np.random.default_rng(seed))
+        self._issued: dict[str, KeyPair] = {}
+        self.wiretap_log: list[tuple[str, object]] = []
+        self.communication_rounds = 0
+
+    def issue_keys(self, user_id: str) -> DeliveredKeys:
+        """Generate and hand out a key pair (plaintext channel!)."""
+        pair = self._keygen.generate()
+        self._issued[user_id] = pair
+        self.communication_rounds += 1
+        # An on-path adversary sees exactly what the user receives.
+        self.wiretap_log.append((user_id, pair))
+        return DeliveredKeys(public=pair.public, secret=pair.secret)
+
+    def issue_relin_keys(self, user_id: str) -> RelinKeys:
+        """The extra round HE-only deployments need (Section III-A)."""
+        pair = self._issued.get(user_id)
+        if pair is None:
+            raise AttestationError(f"no keys issued for {user_id!r}")
+        self.communication_rounds += 1
+        return self._keygen.relin_keys(pair.secret)
+
+    def knows_secret_of(self, user_id: str) -> bool:
+        return user_id in self._issued
+
+
+@dataclass
+class UserClient:
+    """User-side endpoint of the attested key-delivery flow.
+
+    Args:
+        params: FV parameters agreed with the service.
+        verifier: attestation verification service the user trusts.
+        expected_mrenclave: code identity of the genuine inference enclave.
+        entropy: 32+ bytes of client randomness for the DH handshake.
+    """
+
+    params: EncryptionParams
+    verifier: AttestationVerificationService
+    expected_mrenclave: str
+    entropy: bytes
+    _dh: securechannel.DhKeyPair = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._dh = securechannel.DhKeyPair.generate(self.entropy)
+
+    def begin_exchange(self) -> int:
+        """Step 1: the DH share the user sends to the edge server."""
+        return self._dh.public
+
+    def complete_exchange(self, quote, sealed_message) -> DeliveredKeys:
+        """Step 3: verify the quote, check payload binding, decrypt keys.
+
+        Raises:
+            AttestationError: wrong enclave code, forged quote, or a payload
+                that does not match the attested digest.
+        """
+        verified = self.verifier.verify(quote, expected_mrenclave=self.expected_mrenclave)
+        enclave_share, digest = securechannel.split_user_data(verified.user_data)
+        actual_digest = securechannel.payload_digest(
+            sealed_message.nonce + sealed_message.ciphertext + sealed_message.tag
+        )
+        if digest != actual_digest:
+            raise AttestationError(
+                "delivered payload does not match the attested digest"
+            )
+        session_key = self._dh.shared_secret(enclave_share)
+        payload = securechannel.decrypt_message(session_key, sealed_message)
+        public_bytes, secret_bytes = unpack_key_pair(payload)
+        context = Context(self.params)
+        return DeliveredKeys(
+            public=deserialize_public_key(public_bytes, context),
+            secret=deserialize_secret_key(secret_bytes, context),
+        )
+
+
+@dataclass
+class SgxKeyDistribution:
+    """Orchestrates the full Fig. 2 flow on the edge server side."""
+
+    platform: SgxPlatform
+    enclave: EnclaveHandle
+    quoting: QuotingService
+
+    def serve_exchange(self, user_dh_public: int) -> tuple:
+        """Run the enclave key exchange and quote the resulting user_data.
+
+        Returns ``(quote, sealed_message)`` for transmission to the user.
+        """
+        sealed_message, user_data = self.enclave.ecall("key_exchange", user_dh_public)
+        report = self.enclave.create_report(user_data)
+        quote = self.quoting.quote(report)
+        return quote, sealed_message
+
+
+def establish_user_keys(
+    platform: SgxPlatform,
+    enclave: EnclaveHandle,
+    quoting: QuotingService,
+    verifier: AttestationVerificationService,
+    params: EncryptionParams,
+    entropy: bytes,
+) -> DeliveredKeys:
+    """Convenience end-to-end helper: one user obtains keys via attestation."""
+    user = UserClient(
+        params=params,
+        verifier=verifier,
+        expected_mrenclave=enclave.measurement.mrenclave,
+        entropy=entropy,
+    )
+    service = SgxKeyDistribution(platform=platform, enclave=enclave, quoting=quoting)
+    quote, sealed = service.serve_exchange(user.begin_exchange())
+    return user.complete_exchange(quote, sealed)
+
+
+# Re-export for API convenience: the enclave class is the other half of this flow.
+__all__ = [
+    "DeliveredKeys",
+    "InferenceEnclave",
+    "SgxKeyDistribution",
+    "TrustedThirdParty",
+    "UserClient",
+    "establish_user_keys",
+]

@@ -1,0 +1,82 @@
+"""Plaintext inference pipelines: the accuracy references.
+
+Two references matter for the paper's claims:
+
+* the float model itself (what a non-private edge server would run);
+* the *integer* reference -- the quantized model executed in the clear --
+  which both encrypted pipelines must match bit-exactly, because FV
+  arithmetic is exact integer arithmetic mod ``t``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import InferenceResult, StageTiming
+from repro.nn.model import Sequential
+from repro.nn.quantize import QuantizedCNN
+from repro.sgx.clock import ClockWindow, SimClock
+
+
+class PlaintextPipeline:
+    """Quantized-integer inference in the clear.
+
+    This is the ground truth the encrypted pipelines are compared against:
+    same quantization, same stage functions, no cryptography.
+    """
+
+    scheme = "Plaintext"
+
+    def __init__(self, quantized: QuantizedCNN, clock: SimClock | None = None) -> None:
+        self.quantized = quantized
+        self.clock = clock if clock is not None else SimClock()
+
+    def infer(self, images: np.ndarray) -> InferenceResult:
+        stages: list[StageTiming] = []
+        window = ClockWindow(self.clock)
+
+        with self.clock.measure_real():
+            x = self.quantized.quantize_images(images)
+        stages.append(StageTiming("quantize", window.real_s))
+        window.restart()
+
+        with self.clock.measure_real():
+            conv = self.quantized.conv_stage(x)
+        stages.append(StageTiming("conv", window.real_s))
+        window.restart()
+
+        with self.clock.measure_real():
+            if self.quantized.activation == "square":
+                hidden = self.quantized.scaled_pool_stage(self.quantized.square_stage(conv))
+            else:
+                hidden = self.quantized.enclave_stage(conv)
+        stages.append(StageTiming("activation_pool", window.real_s))
+        window.restart()
+
+        with self.clock.measure_real():
+            logits = self.quantized.fc_stage(hidden)
+        stages.append(StageTiming("fc", window.real_s))
+
+        return InferenceResult(logits=logits, stages=stages, scheme=self.scheme)
+
+
+class FloatPipeline:
+    """The unquantized float model, for accuracy headroom comparisons."""
+
+    scheme = "Float"
+
+    def __init__(self, model: Sequential) -> None:
+        self.model = model
+
+    def infer(self, images: np.ndarray) -> InferenceResult:
+        floats = images.astype(np.float64) / 255.0 if images.dtype == np.uint8 else images
+        import time
+
+        start = time.perf_counter()
+        logits = self.model.forward(floats)
+        elapsed = time.perf_counter() - start
+        return InferenceResult(
+            logits=logits,
+            stages=[StageTiming("forward", elapsed)],
+            scheme=self.scheme,
+        )

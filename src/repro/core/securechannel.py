@@ -1,0 +1,119 @@
+"""Authenticated secure channel for attested key delivery.
+
+The paper's Section IV-A sends homomorphic public/private keys to the user
+"as customized data" of the remote-attestation report.  Key material is far
+larger than a report's user_data field, so -- as real deployments do -- we
+bind a Diffie-Hellman handshake into the attested user_data and ship the
+bulk payload encrypted under the session key:
+
+1. the user sends a DH share;
+2. the enclave replies with its share *inside the attested quote's
+   user_data*, so the user knows the share came from measured code;
+3. both derive a session key; the enclave ships the (private!) HE keys
+   encrypted and MACed under it, through the untrusted host.
+
+The DH group is RFC 3526 group 14 (2048-bit MODP); the symmetric layer is a
+SHA-256 counter-mode stream with an HMAC tag, mirroring repro.sgx.sealing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import struct
+from dataclasses import dataclass
+
+from repro.errors import AttestationError
+
+# RFC 3526, group 14: 2048-bit MODP prime, generator 2.
+RFC3526_PRIME = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+RFC3526_GENERATOR = 2
+
+
+@dataclass(frozen=True)
+class DhKeyPair:
+    """One side's ephemeral Diffie-Hellman key."""
+
+    private: int
+    public: int
+
+    @classmethod
+    def generate(cls, rng_bytes: bytes) -> "DhKeyPair":
+        """Derive a keypair from caller-supplied entropy (32+ bytes)."""
+        if len(rng_bytes) < 32:
+            raise AttestationError("DH entropy must be at least 32 bytes")
+        private = int.from_bytes(hashlib.sha512(rng_bytes).digest(), "big") % (
+            RFC3526_PRIME - 2
+        ) + 2
+        public = pow(RFC3526_GENERATOR, private, RFC3526_PRIME)
+        return cls(private=private, public=public)
+
+    def shared_secret(self, other_public: int) -> bytes:
+        if not 2 <= other_public <= RFC3526_PRIME - 2:
+            raise AttestationError("peer DH share out of range")
+        shared = pow(other_public, self.private, RFC3526_PRIME)
+        return hashlib.sha256(shared.to_bytes(256, "big")).digest()
+
+
+def bind_user_data(dh_public: int, payload_digest: bytes) -> bytes:
+    """The attested user_data: enclave DH share + digest of the payload.
+
+    Verifying the quote therefore authenticates both the handshake and the
+    exact key bytes that arrive over the untrusted channel.
+    """
+    return dh_public.to_bytes(256, "big") + payload_digest
+
+
+def split_user_data(user_data: bytes) -> tuple[int, bytes]:
+    if len(user_data) < 256 + 32:
+        raise AttestationError("attested user_data too short for a DH share + digest")
+    return int.from_bytes(user_data[:256], "big"), user_data[256 : 256 + 32]
+
+
+@dataclass(frozen=True)
+class SealedMessage:
+    """Encrypted + MACed payload for the untrusted transport."""
+
+    nonce: bytes
+    ciphertext: bytes
+    tag: bytes
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    blocks = []
+    for counter in range(-(-length // 32)):
+        blocks.append(hashlib.sha256(key + nonce + struct.pack(">Q", counter)).digest())
+    return b"".join(blocks)[:length]
+
+
+def encrypt_message(session_key: bytes, payload: bytes, nonce: bytes) -> SealedMessage:
+    if len(nonce) != 16:
+        raise AttestationError("nonce must be 16 bytes")
+    stream = _keystream(session_key, nonce, len(payload))
+    ciphertext = bytes(a ^ b for a, b in zip(payload, stream))
+    tag = hmac.new(session_key, nonce + ciphertext, hashlib.sha256).digest()
+    return SealedMessage(nonce=nonce, ciphertext=ciphertext, tag=tag)
+
+
+def decrypt_message(session_key: bytes, message: SealedMessage) -> bytes:
+    expected = hmac.new(
+        session_key, message.nonce + message.ciphertext, hashlib.sha256
+    ).digest()
+    if not hmac.compare_digest(expected, message.tag):
+        raise AttestationError("secure-channel MAC failed: payload tampered in transit")
+    stream = _keystream(session_key, message.nonce, len(message.ciphertext))
+    return bytes(a ^ b for a, b in zip(message.ciphertext, stream))
+
+
+def payload_digest(payload: bytes) -> bytes:
+    return hashlib.sha256(payload).digest()

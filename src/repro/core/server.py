@@ -1,0 +1,238 @@
+"""Edge-server facade: the deployable face of the framework.
+
+Ties the pieces together the way the paper's deployment story does
+(Sections IV + VII): one SGX-capable edge node hosts an inference enclave
+that is simultaneously key authority and plaintext co-processor; quantized
+models are provisioned once (optionally persisted as *sealed* blobs so a
+restarted enclave of the same identity can recover them from untrusted
+storage); users enroll via remote attestation; and inference requests are
+routed to the hybrid pipeline -- slot-packed when the parameters allow it
+and the caller asks for throughput.
+
+This is the API a downstream integrator would embed::
+
+    server = EdgeServer(params, seed=7)
+    server.provision_model("digits", quantized)
+    session = server.enroll_user(entropy=os.urandom(32), verifier=verifier)
+    response = server.infer("digits", session.encrypt(images))
+    predictions = session.decrypt(response)
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import heops
+from repro.core.enclave_service import InferenceEnclave
+from repro.core.keyflow import SgxKeyDistribution, UserClient
+from repro.core.results import InferenceResult, StageTiming
+from repro.errors import PipelineError, SealingError
+from repro.he.context import Ciphertext, Context
+from repro.he.decryptor import Decryptor
+from repro.he.encoders import ScalarEncoder
+from repro.he.encryptor import Encryptor
+from repro.he.evaluator import Evaluator, OperationCounter
+from repro.he.params import EncryptionParams
+from repro.nn.quantize import QuantizedCNN
+from repro.sgx.attestation import AttestationVerificationService, QuotingService
+from repro.sgx.clock import ClockWindow
+from repro.sgx.enclave import SgxPlatform
+from repro.sgx.sealing import SealedBlob
+
+
+@dataclass
+class UserSession:
+    """A user's view after successful enrollment: their own crypto endpoints."""
+
+    context: Context
+    encoder: ScalarEncoder
+    encryptor: Encryptor
+    decryptor: Decryptor
+    quantized_by_model: dict
+
+    def encrypt(self, model_name: str, images: np.ndarray) -> Ciphertext:
+        quantized = self._quantized(model_name)
+        pixels = quantized.quantize_images(images)
+        return self.encryptor.encrypt(self.encoder.encode(pixels))
+
+    def decrypt(self, result: "ServedResult") -> np.ndarray:
+        logits = self.encoder.decode(self.decryptor.decrypt(result.logits_ct))
+        return logits.argmax(axis=1)
+
+    def decrypt_logits(self, result: "ServedResult") -> np.ndarray:
+        return self.encoder.decode(self.decryptor.decrypt(result.logits_ct))
+
+    def _quantized(self, model_name: str) -> QuantizedCNN:
+        quantized = self.quantized_by_model.get(model_name)
+        if quantized is None:
+            raise PipelineError(f"unknown model {model_name!r}")
+        return quantized
+
+
+@dataclass
+class ServedResult:
+    """What the server returns: *encrypted* logits plus timing metadata."""
+
+    logits_ct: Ciphertext
+    timing: InferenceResult
+
+
+class EdgeServer:
+    """One SGX-capable edge node running the hybrid framework.
+
+    Args:
+        params: FV parameter set all hosted models share.
+        platform: simulated SGX machine (fresh by default).
+        seed: reproducible randomness for keygen and encryption.
+    """
+
+    def __init__(
+        self,
+        params: EncryptionParams,
+        platform: SgxPlatform | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.params = params
+        self.platform = platform if platform is not None else SgxPlatform()
+        self.context = Context(params)
+        self.enclave = self.platform.load_enclave(InferenceEnclave, params, seed)
+        self.enclave.ecall("generate_keys")
+        self.quoting = QuotingService(self.platform)
+        self._distribution = SgxKeyDistribution(
+            platform=self.platform, enclave=self.enclave, quoting=self.quoting
+        )
+        self.counter = OperationCounter()
+        self.evaluator = Evaluator(self.context, self.counter)
+        self.encoder = ScalarEncoder(self.context)
+        self._models: dict[str, QuantizedCNN] = {}
+        self._encoded: dict[str, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # model provisioning
+    # ------------------------------------------------------------------
+    def provision_model(self, name: str, quantized: QuantizedCNN) -> None:
+        """Install a quantized model and pre-encode its weights (§IV-B)."""
+        if quantized.activation == "square":
+            raise PipelineError(
+                "the edge server runs the hybrid framework; square-activation "
+                "models belong to the pure-HE baseline"
+            )
+        if not quantized.fits_plain_modulus(self.params.plain_modulus):
+            raise PipelineError(
+                f"model {name!r} needs t >= {quantized.required_plain_modulus()}"
+            )
+        conv = heops.encode_conv_weights(
+            self.evaluator, self.encoder, quantized.conv_weight,
+            quantized.conv_bias, quantized.stride,
+        )
+        dense = heops.encode_dense_weights(
+            self.evaluator, self.encoder, quantized.dense_weight, quantized.dense_bias
+        )
+        self._models[name] = quantized
+        self._encoded[name] = (conv, dense)
+
+    def seal_model(self, name: str) -> SealedBlob:
+        """Persist a provisioned model as a sealed blob for untrusted storage.
+
+        Only an enclave with the same MRENCLAVE on the same platform can
+        recover it -- the paper's "deployed in the edge server securely"
+        assumption made concrete.
+        """
+        quantized = self._require_model(name)
+        payload = pickle.dumps((name, quantized))
+        return self.enclave._instance.seal(payload)
+
+    def restore_model(self, blob: SealedBlob) -> str:
+        """Unseal and re-provision a model (e.g. after an enclave restart).
+
+        Raises:
+            SealingError: the blob belongs to a different enclave/platform
+                or was tampered with.
+        """
+        try:
+            payload = self.enclave._instance.unseal(blob)
+        except SealingError:
+            raise
+        name, quantized = pickle.loads(payload)
+        self.provision_model(name, quantized)
+        return name
+
+    def models(self) -> list[str]:
+        return sorted(self._models)
+
+    # ------------------------------------------------------------------
+    # user enrollment (Fig. 2 key delivery)
+    # ------------------------------------------------------------------
+    def enroll_user(
+        self, entropy: bytes, verifier: AttestationVerificationService
+    ) -> UserSession:
+        """Run the attested key exchange for one user and hand back their
+        session (the user-side object; in a real deployment this happens on
+        the user's device)."""
+        client = UserClient(
+            params=self.params,
+            verifier=verifier,
+            expected_mrenclave=self.enclave.measurement.mrenclave,
+            entropy=entropy,
+        )
+        quote, sealed = self._distribution.serve_exchange(client.begin_exchange())
+        keys = client.complete_exchange(quote, sealed)
+        context = Context(self.params)
+        return UserSession(
+            context=context,
+            encoder=ScalarEncoder(context),
+            encryptor=Encryptor(context, keys.public),
+            decryptor=Decryptor(context, keys.secret),
+            quantized_by_model=dict(self._models),
+        )
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def infer(self, model_name: str, ct: Ciphertext) -> ServedResult:
+        """Run the hybrid pipeline on encrypted pixels; logits stay encrypted."""
+        quantized = self._require_model(model_name)
+        conv_weights, dense_weights = self._encoded[model_name]
+        stages: list[StageTiming] = []
+        window = ClockWindow(self.platform.clock)
+        clock = self.platform.clock
+
+        with clock.measure_real():
+            conv = heops.he_conv2d(self.evaluator, self.encoder, ct, conv_weights)
+        stages.append(StageTiming("conv", window.real_s, window.overhead_s))
+        window.restart()
+
+        hidden = self.enclave.ecall(
+            "activation_pool",
+            conv,
+            quantized.conv_output_scale,
+            quantized.act_scale,
+            quantized.pool_window,
+            quantized.activation,
+            quantized.pool,
+        )
+        stages.append(StageTiming("sgx_activation_pool", window.real_s, window.overhead_s))
+        window.restart()
+
+        with clock.measure_real():
+            logits_ct = heops.he_dense(self.evaluator, self.encoder, hidden, dense_weights)
+        stages.append(StageTiming("fc", window.real_s, window.overhead_s))
+
+        timing = InferenceResult(
+            logits=np.zeros((ct.batch_shape[0], dense_weights.out_features)),
+            stages=stages,
+            scheme="EdgeServer/EncryptSGX",
+            op_counts=dict(self.counter.counts),
+        )
+        return ServedResult(logits_ct=logits_ct, timing=timing)
+
+    def _require_model(self, name: str) -> QuantizedCNN:
+        quantized = self._models.get(name)
+        if quantized is None:
+            raise PipelineError(
+                f"unknown model {name!r}; provisioned: {self.models()}"
+            )
+        return quantized

@@ -1,0 +1,191 @@
+"""SIMD-packed hybrid inference -- the paper's Section VIII extension.
+
+The paper encodes one value per ciphertext and predicts that CRT batching
+would buy "1024 times the throughput".  This module implements that
+extension for the hybrid framework: up to ``n`` user images ride in the
+CRT *slots* of each pixel-position ciphertext, so the whole encrypted CNN
+costs one ciphertext operation per pixel *position* -- independent of how
+many users share the batch.
+
+Requires a batching-capable plaintext modulus (prime ``t ≡ 1 mod 2n``);
+use ``parameters_for_pipeline(..., batching=True)``.
+
+All slot traffic is still end-to-end encrypted: the enclave decodes the
+slot packing only after decrypting inside trusted code
+(:meth:`InferenceEnclave.activation_pool_simd`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import heops
+from repro.core.enclave_service import InferenceEnclave
+from repro.core.keyflow import establish_user_keys
+from repro.core.results import InferenceResult, StageTiming
+from repro.errors import PipelineError
+from repro.he.batching import BatchEncoder
+from repro.he.context import Ciphertext, Context
+from repro.he.decryptor import Decryptor
+from repro.he.encoders import ScalarEncoder
+from repro.he.encryptor import Encryptor
+from repro.he.evaluator import Evaluator, OperationCounter
+from repro.he.params import EncryptionParams
+from repro.nn.quantize import QuantizedCNN
+from repro.sgx.attestation import AttestationVerificationService, QuotingService
+from repro.sgx.clock import ClockWindow
+from repro.sgx.enclave import SgxPlatform
+
+
+class SlotCodec:
+    """Packs an image batch into CRT slots, one ciphertext per pixel position.
+
+    Layout: a tensor of integers with shape ``(B, C, H, W)`` becomes a
+    plaintext batch of shape ``(1, C, H, W)`` whose slot ``b`` carries image
+    ``b``'s value at that position.
+    """
+
+    def __init__(self, context: Context) -> None:
+        self.encoder = BatchEncoder(context)
+
+    @property
+    def slot_count(self) -> int:
+        return self.encoder.slot_count
+
+    def encode(self, values: np.ndarray):
+        if values.ndim != 4:
+            raise PipelineError("SlotCodec expects (B, C, H, W) integer values")
+        b = values.shape[0]
+        if b > self.slot_count:
+            raise PipelineError(
+                f"batch of {b} exceeds the {self.slot_count} available slots"
+            )
+        slotted = np.moveaxis(values, 0, -1)  # (C, H, W, B)
+        return self.encoder.encode(slotted[None, ...])
+
+    def decode(self, plain, batch: int) -> np.ndarray:
+        slots = self.encoder.decode(plain)  # (1, C, H, W, n)
+        return np.moveaxis(slots[0, ..., :batch], -1, 0)
+
+    def decode_flat(self, plain, batch: int) -> np.ndarray:
+        """Decode a ``(1, D)``-batched plaintext into ``(B, D)`` values."""
+        slots = self.encoder.decode(plain)  # (1, D, n)
+        return np.moveaxis(slots[0, ..., :batch], -1, 0)
+
+
+class SimdHybridPipeline:
+    """Hybrid HE+SGX inference with slot-packed user batches.
+
+    Functionally identical to :class:`~repro.core.hybrid.HybridPipeline` in
+    ``batched`` mode -- same partition, same enclave, bit-exact against the
+    plaintext reference -- but an entire user batch shares each ciphertext,
+    collapsing the per-image cost by up to the slot count.
+    """
+
+    scheme = "EncryptSGX-SIMD"
+
+    def __init__(
+        self,
+        quantized: QuantizedCNN,
+        params: EncryptionParams,
+        platform: SgxPlatform | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if quantized.activation == "square":
+            raise PipelineError("the SIMD hybrid serves exact-activation models only")
+        if not params.supports_batching():
+            raise PipelineError(
+                "SIMD packing needs a batching plaintext modulus; build the "
+                "parameters with parameters_for_pipeline(..., batching=True)"
+            )
+        if not quantized.fits_plain_modulus(params.plain_modulus):
+            raise PipelineError(
+                f"plain_modulus {params.plain_modulus} cannot hold the conv "
+                f"intermediates (need >= {quantized.required_plain_modulus()})"
+            )
+        self.quantized = quantized
+        self.params = params
+        self.platform = platform if platform is not None else SgxPlatform()
+        self.clock = self.platform.clock
+        self.context = Context(params)
+        self.codec = SlotCodec(self.context)
+
+        self.enclave = self.platform.load_enclave(InferenceEnclave, params, seed)
+        self.enclave.ecall("generate_keys")
+        self.quoting = QuotingService(self.platform)
+        self.verifier = AttestationVerificationService()
+        self.verifier.register_platform(self.quoting)
+        entropy = np.random.default_rng(seed).bytes(32)
+        user_keys = establish_user_keys(
+            self.platform, self.enclave, self.quoting, self.verifier, params, entropy
+        )
+
+        self.counter = OperationCounter()
+        self.evaluator = Evaluator(self.context, self.counter)
+        self.encoder = ScalarEncoder(self.context)
+        self.encryptor = Encryptor(self.context, user_keys.public, np.random.default_rng(seed))
+        self.decryptor = Decryptor(self.context, user_keys.secret)
+        self.conv_weights = heops.encode_conv_weights(
+            self.evaluator, self.encoder, quantized.conv_weight,
+            quantized.conv_bias, quantized.stride,
+        )
+        self.dense_weights = heops.encode_dense_weights(
+            self.evaluator, self.encoder, quantized.dense_weight, quantized.dense_bias
+        )
+
+    @property
+    def slot_count(self) -> int:
+        return self.codec.slot_count
+
+    def encrypt_images(self, images: np.ndarray) -> Ciphertext:
+        pixels = self.quantized.quantize_images(images)
+        return self.encryptor.encrypt(self.codec.encode(pixels))
+
+    def infer(self, images: np.ndarray) -> InferenceResult:
+        batch = images.shape[0]
+        stages: list[StageTiming] = []
+        window = ClockWindow(self.clock)
+        crossings_before = self.enclave.side_channel.count("ecall")
+
+        def finish(name: str) -> None:
+            stages.append(StageTiming(name, window.real_s, window.overhead_s))
+            window.restart()
+
+        with self.clock.measure_real():
+            ct = self.encrypt_images(images)
+        finish("encrypt")
+
+        with self.clock.measure_real():
+            conv = heops.he_conv2d(self.evaluator, self.encoder, ct, self.conv_weights)
+        finish("conv")
+
+        hidden = self.enclave.ecall(
+            "activation_pool_simd",
+            conv,
+            self.quantized.conv_output_scale,
+            self.quantized.act_scale,
+            self.quantized.pool_window,
+            self.quantized.activation,
+            self.quantized.pool,
+        )
+        finish("sgx_activation_pool")
+
+        with self.clock.measure_real():
+            logits_ct = heops.he_dense(
+                self.evaluator, self.encoder, hidden, self.dense_weights
+            )
+        finish("fc")
+
+        budget = self.decryptor.invariant_noise_budget(logits_ct)
+        with self.clock.measure_real():
+            logits = self.codec.decode_flat(self.decryptor.decrypt(logits_ct), batch)
+        finish("decrypt")
+
+        return InferenceResult(
+            logits=logits,
+            stages=stages,
+            scheme=self.scheme,
+            noise_budget_bits=budget,
+            op_counts=dict(self.counter.counts),
+            enclave_crossings=self.enclave.side_channel.count("ecall") - crossings_before,
+        )

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """Invalid or inconsistent encryption / simulation parameters."""
+
+
+class EncodingError(ReproError, ValueError):
+    """A value cannot be encoded into (or decoded from) the plaintext ring."""
+
+
+class NoiseBudgetExhausted(ReproError, ArithmeticError):
+    """A ciphertext's invariant noise grew past the decryptable threshold."""
+
+
+class KeyMismatchError(ReproError, ValueError):
+    """An operation mixed keys or ciphertexts from different contexts."""
+
+
+class EnclaveError(ReproError, RuntimeError):
+    """Generic enclave-simulator failure."""
+
+
+class EnclaveMemoryError(EnclaveError, MemoryError):
+    """The enclave exceeded its committed heap allowance."""
+
+
+class EnclaveNotInitialized(EnclaveError):
+    """An ECALL was issued against an enclave that was never created."""
+
+
+class AttestationError(EnclaveError):
+    """Remote attestation failed (bad measurement, tampered quote, ...)."""
+
+
+class SealingError(EnclaveError):
+    """Sealed-blob integrity check failed or the blob belongs to another enclave."""
+
+
+class ModelError(ReproError, ValueError):
+    """Neural-network model construction or shape inference failed."""
+
+
+class PipelineError(ReproError, RuntimeError):
+    """A privacy-preserving inference pipeline was misused or misconfigured."""

@@ -1,0 +1,101 @@
+"""FV decryption and noise-budget measurement (paper Section II-B).
+
+``Decrypt(sk, ct)`` computes ``m = [round(t/q * [sum_i c_i s^i]_q)]_t``.
+Size-2 and size-3 (unrelinearized) ciphertexts are both supported.
+
+The *invariant noise budget* follows SEAL's definition: writing
+``(t/q) * [ct(s)]_q = m + v (mod t)``, the budget is ``-log2(2 ||v||)`` bits;
+decryption is correct while the budget is positive.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import NoiseBudgetExhausted
+from repro.he.context import Ciphertext, Context, Plaintext
+from repro.he.keys import SecretKey
+
+
+class Decryptor:
+    """Decrypts ciphertexts with the secret key.
+
+    Args:
+        context: the encryption context.
+        secret_key: the secret key ``s``.
+    """
+
+    def __init__(self, context: Context, secret_key: SecretKey) -> None:
+        context.check_same(secret_key.context)
+        self.context = context
+        self.secret_key = secret_key
+
+    def _dot_with_secret(self, ct: Ciphertext) -> np.ndarray:
+        """``[sum_i c_i s^i]_q`` as centered bigint coefficients."""
+        self.context.check_same(ct.context)
+        ring = self.context.ring
+        ct = ct.to_ntt()
+        acc = ct.data[..., 0, :, :]
+        s_power = self.secret_key.s_ntt
+        for i in range(1, ct.size):
+            acc = ring.add(acc, ring.pointwise_mul(ct.data[..., i, :, :], s_power))
+            if i + 1 < ct.size:
+                s_power = ring.pointwise_mul(s_power, self.secret_key.s_ntt)
+        return ring.to_bigint_centered(ring.intt(acc))
+
+    def decrypt(self, ct: Ciphertext, check_noise: bool = False) -> Plaintext:
+        """Decrypt a (batched) ciphertext.
+
+        Args:
+            ct: ciphertext of any size >= 2.
+            check_noise: when True, raise :class:`NoiseBudgetExhausted`
+                instead of silently returning garbage if the noise overflowed.
+        """
+        if check_noise and not self.is_decryptable(ct):
+            raise NoiseBudgetExhausted(
+                "ciphertext noise exceeds the decryptable threshold"
+            )
+        params = self.context.params
+        raw = self._dot_with_secret(ct)
+        scaled = raw * params.plain_modulus
+        q = params.coeff_modulus
+        half = q // 2
+        rounded = np.where(
+            scaled >= 0, (scaled + half) // q, -((-scaled + half) // q)
+        )
+        coeffs = (rounded % params.plain_modulus).astype(np.int64)
+        return Plaintext(self.context, coeffs)
+
+    def is_decryptable(self, ct: Ciphertext, margin_bits: float = 0.5) -> bool:
+        """Statistical correctness test.
+
+        Once noise overflows, the measured residue is uniform and lands
+        within a hair of the q/2 ceiling with overwhelming probability, so a
+        budget below ``margin_bits`` is treated as overflowed.  (A ciphertext
+        whose *true* budget is under half a bit is one operation from death
+        anyway.)
+        """
+        return self.invariant_noise_budget(ct) >= margin_bits
+
+    def _worst_noise(self, ct: Ciphertext) -> int:
+        params = self.context.params
+        q = params.coeff_modulus
+        raw = self._dot_with_secret(ct)
+        residue = (raw * params.plain_modulus) % q
+        centered = np.where(residue > q // 2, residue - q, residue)
+        return int(np.abs(centered).max()) if centered.size else 0
+
+    def invariant_noise_budget(self, ct: Ciphertext) -> float:
+        """Remaining noise budget in bits (0 when decryption would fail).
+
+        For batched ciphertexts the *minimum* budget over the batch is
+        returned, since one overflowing element already corrupts results.
+        """
+        q = self.context.params.coeff_modulus
+        worst = self._worst_noise(ct)
+        if worst == 0:
+            return float(q.bit_length() - 1)
+        budget = math.log2(q) - math.log2(worst) - 1.0
+        return max(0.0, budget)

@@ -1,0 +1,99 @@
+"""FV encryption (paper Section II-B, ``Encrypt``).
+
+``Encrypt(pk, m)``: sample ``u`` ternary and ``e1, e2`` from chi, output::
+
+    ct = (c0, c1) = ([p0 u + e1 + Delta m]_q, [p1 u + e2]_q)
+
+The encryptor is batched: a plaintext with leading batch axes produces one
+ciphertext object holding independently randomized encryptions for every
+element, in a handful of vectorized numpy calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.he.context import Ciphertext, Context, Plaintext
+from repro.he.keys import PublicKey, SecretKey
+
+
+class Encryptor:
+    """Encrypts plaintexts under a public key.
+
+    Args:
+        context: the encryption context.
+        public_key: target public key.
+        rng: numpy Generator for the encryption randomness.
+    """
+
+    def __init__(
+        self,
+        context: Context,
+        public_key: PublicKey,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        context.check_same(public_key.context)
+        self.context = context
+        self.public_key = public_key
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def encrypt(self, plain: Plaintext) -> Ciphertext:
+        """Encrypt a (batched) plaintext into a fresh size-2 ciphertext."""
+        self.context.check_same(plain.context)
+        ring = self.context.ring
+        params = self.context.params
+        batch = plain.batch_shape
+        u = ring.ntt(ring.sample_ternary(self.rng, *batch))
+        e1 = ring.sample_noise(self.rng, params.noise_stddev, *batch)
+        e2 = ring.sample_noise(self.rng, params.noise_stddev, *batch)
+        delta_m = ring.mul_scalar(ring.from_int_coeffs(plain.coeffs), params.delta)
+        c0 = ring.add(
+            ring.pointwise_mul(self.public_key.p0_ntt, u),
+            ring.ntt(ring.add(e1, delta_m)),
+        )
+        c1 = ring.add(ring.pointwise_mul(self.public_key.p1_ntt, u), ring.ntt(e2))
+        data = np.stack([c0, c1], axis=-3)
+        return Ciphertext(self.context, data, is_ntt=True)
+
+    def encrypt_zero(self, *batch_shape: int) -> Ciphertext:
+        """Fresh encryption of zero (useful for refresh and padding)."""
+        zeros = Plaintext(
+            self.context,
+            np.zeros((*batch_shape, self.context.poly_degree), dtype=np.int64),
+        )
+        return self.encrypt(zeros)
+
+
+class SymmetricEncryptor:
+    """Secret-key encryption: ``ct = ([-(a s + e) + Delta m]_q, a)``.
+
+    Produces slightly less noisy ciphertexts than public-key encryption.
+    The enclave uses this form when re-encrypting intermediate CNN state,
+    since it holds the secret key anyway (paper Section IV-D).
+    """
+
+    def __init__(
+        self,
+        context: Context,
+        secret_key: SecretKey,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        context.check_same(secret_key.context)
+        self.context = context
+        self.secret_key = secret_key
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def encrypt(self, plain: Plaintext) -> Ciphertext:
+        self.context.check_same(plain.context)
+        ring = self.context.ring
+        params = self.context.params
+        batch = plain.batch_shape
+        a = ring.ntt(ring.sample_uniform(self.rng, *batch))
+        e = ring.sample_noise(self.rng, params.noise_stddev, *batch)
+        delta_m = ring.mul_scalar(ring.from_int_coeffs(plain.coeffs), params.delta)
+        body = ring.sub(
+            ring.ntt(ring.add(delta_m, e)),
+            ring.pointwise_mul(a, self.secret_key.s_ntt),
+        )
+        data = np.stack([body, a], axis=-3)
+        return Ciphertext(self.context, data, is_ntt=True)

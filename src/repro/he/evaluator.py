@@ -1,0 +1,251 @@
+"""Homomorphic operations: Add, Multiply, plain ops and relinearization.
+
+Implements the paper's Section II-B evaluation algorithms:
+
+* ``Add(ct0, ct1)``: component-wise sum.
+* ``Multiply(ct0, ct1)``: FV tensor product -- the three cross products are
+  computed as *exact* integer negacyclic convolutions (auxiliary-prime CRT),
+  scaled by ``t/q`` with true rounding, yielding a size-3 ciphertext.
+* ``relinearize``: base-``w`` digit decomposition of ``c2`` against the
+  evaluation keys, shrinking size 3 back to 2.
+
+All operations accept batched ciphertexts (leading axes) and most are pure
+pointwise numpy work because ciphertexts rest in NTT domain.
+
+The evaluator optionally records operation counts in an
+:class:`OperationCounter`; the Fig. 4 benchmark uses these to report the
+``C x P`` / ``C + C`` totals the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import KeyMismatchError, ParameterError
+from repro.he.context import Ciphertext, Context, Plaintext
+from repro.he.keys import RelinKeys
+
+
+@dataclass
+class OperationCounter:
+    """Tally of scalar homomorphic operations (batch-expanded)."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def record(self, op: str, amount: int = 1) -> None:
+        self.counts[op] = self.counts.get(op, 0) + amount
+
+    def get(self, op: str) -> int:
+        return self.counts.get(op, 0)
+
+    def reset(self) -> None:
+        self.counts.clear()
+
+
+@dataclass
+class PlainOperand:
+    """A plaintext pre-transformed to NTT domain for repeated multiplication.
+
+    The CNN pipelines encode model weights once (paper Section IV-B) and
+    multiply them into many ciphertexts; caching the NTT form makes each
+    reuse a single pointwise product.
+    """
+
+    context: Context
+    ntt_data: np.ndarray  # shape (..., k, n)
+
+    @property
+    def batch_shape(self) -> tuple[int, ...]:
+        return self.ntt_data.shape[:-2]
+
+
+class Evaluator:
+    """Performs homomorphic computation within one context."""
+
+    def __init__(self, context: Context, counter: OperationCounter | None = None) -> None:
+        self.context = context
+        self.counter = counter
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _record(self, op: str, ct: Ciphertext) -> None:
+        if self.counter is not None:
+            self.counter.record(op, max(1, ct.batch_count))
+
+    def _check(self, *objects) -> None:
+        for obj in objects:
+            self.context.check_same(obj.context)
+
+    def transform_plain(self, plain: Plaintext) -> PlainOperand:
+        """Precompute the NTT form of a plaintext for plain multiplication.
+
+        Coefficients are centered into ``(-t/2, t/2]`` first, which keeps the
+        noise growth of ``multiply_plain`` proportional to the *signed*
+        magnitude of the encoded values.
+        """
+        self._check(plain)
+        ring = self.context.ring
+        return PlainOperand(self.context, ring.ntt(ring.from_signed_small(plain.signed_coeffs())))
+
+    # ------------------------------------------------------------------
+    # additive operations
+    # ------------------------------------------------------------------
+    def add(self, ct0: Ciphertext, ct1: Ciphertext) -> Ciphertext:
+        """``Add(ct0, ct1)``; operands of different size are zero-padded."""
+        self._check(ct0, ct1)
+        ct0, ct1 = ct0.to_ntt(), ct1.to_ntt()
+        a, b = ct0.data, ct1.data
+        if ct0.size != ct1.size:
+            if ct0.size < ct1.size:
+                a, b = b, a
+            pad = a.shape[-3] - b.shape[-3]
+            pad_block = np.zeros((*b.shape[:-3], pad, *b.shape[-2:]), dtype=np.int64)
+            b = np.concatenate([b, pad_block], axis=-3)
+        result = Ciphertext(self.context, self.context.ring.add(a, b), is_ntt=True)
+        self._record("ct_add", result)
+        return result
+
+    def sub(self, ct0: Ciphertext, ct1: Ciphertext) -> Ciphertext:
+        return self.add(ct0, self.negate(ct1))
+
+    def negate(self, ct: Ciphertext) -> Ciphertext:
+        self._check(ct)
+        return Ciphertext(ct.context, self.context.ring.neg(ct.data), ct.is_ntt)
+
+    def add_plain(self, ct: Ciphertext, plain: Plaintext) -> Ciphertext:
+        """Add ``Delta * plain`` into the ciphertext body."""
+        self._check(ct, plain)
+        ring = self.context.ring
+        ct = ct.to_ntt()
+        delta_m = ring.ntt(
+            ring.mul_scalar(ring.from_int_coeffs(plain.coeffs), self.context.params.delta)
+        )
+        data = ct.data.copy()
+        data[..., 0, :, :] = ring.add(data[..., 0, :, :], delta_m)
+        result = Ciphertext(self.context, data, is_ntt=True)
+        self._record("plain_add", result)
+        return result
+
+    def add_many(self, cts: list[Ciphertext]) -> Ciphertext:
+        if not cts:
+            raise ParameterError("add_many requires at least one ciphertext")
+        acc = cts[0]
+        for ct in cts[1:]:
+            acc = self.add(acc, ct)
+        return acc
+
+    def sum_batch(self, ct: Ciphertext, axis: int = 0) -> Ciphertext:
+        """Sum a batched ciphertext along one batch axis (C + C reduction).
+
+        Equivalent to folding :meth:`add` over that axis but performed as a
+        single numpy reduction.
+        """
+        self._check(ct)
+        if not ct.batch_shape:
+            raise ParameterError("sum_batch requires a batched ciphertext")
+        axis = axis % len(ct.batch_shape)
+        ct = ct.to_ntt()
+        summed = np.add.reduce(ct.data, axis=axis) % self.context.ring._p_col
+        if self.counter is not None:
+            folds = ct.batch_shape[axis] - 1
+            lanes = ct.batch_count // max(1, ct.batch_shape[axis])
+            self.counter.record("ct_add", folds * max(1, lanes))
+        return Ciphertext(self.context, summed, is_ntt=True)
+
+    # ------------------------------------------------------------------
+    # multiplicative operations
+    # ------------------------------------------------------------------
+    def multiply_plain(self, ct: Ciphertext, plain: PlainOperand | Plaintext) -> Ciphertext:
+        """Ciphertext x plaintext product (the paper's ``C x P``)."""
+        if isinstance(plain, Plaintext):
+            plain = self.transform_plain(plain)
+        self._check(ct, plain)
+        ring = self.context.ring
+        ct = ct.to_ntt()
+        operand = plain.ntt_data
+        if plain.batch_shape:
+            operand = operand[..., None, :, :]  # broadcast over ct components
+        result = Ciphertext(self.context, ring.pointwise_mul(ct.data, operand), is_ntt=True)
+        self._record("ct_plain_mul", result)
+        return result
+
+    def multiply_scalar(self, ct: Ciphertext, value: int) -> Ciphertext:
+        """Multiply by a small integer constant (no noise-polynomial growth
+        beyond the scalar factor).
+
+        The scalar is reduced to its *centered* representative in
+        ``(-t/2, t/2]`` so that, e.g., multiplying by ``t - 1`` costs the
+        noise of ``x(-1)``, not ``x(t-1)``.
+        """
+        self._check(ct)
+        t = self.context.plain_modulus
+        value %= t
+        if value > t // 2:
+            value -= t
+        result = Ciphertext(
+            self.context,
+            self.context.ring.mul_scalar(ct.data, value),
+            ct.is_ntt,
+        )
+        self._record("ct_plain_mul", result)
+        return result
+
+    def multiply(self, ct0: Ciphertext, ct1: Ciphertext) -> Ciphertext:
+        """``Multiply(ct0, ct1)``: exact FV tensor product, size 2x2 -> 3."""
+        self._check(ct0, ct1)
+        if ct0.size != 2 or ct1.size != 2:
+            raise ParameterError(
+                "multiply expects size-2 operands; relinearize first "
+                f"(got sizes {ct0.size} and {ct1.size})"
+            )
+        ring = self.context.ring
+        params = self.context.params
+        a = ct0.to_coeff().data
+        b = ct1.to_coeff().data
+        a0 = ring.to_bigint_centered(a[..., 0, :, :])
+        a1 = ring.to_bigint_centered(a[..., 1, :, :])
+        b0 = ring.to_bigint_centered(b[..., 0, :, :])
+        b1 = ring.to_bigint_centered(b[..., 1, :, :])
+        c0 = ring.convolve_exact(a0, b0)
+        c1 = ring.convolve_exact(a0, b1) + ring.convolve_exact(a1, b0)
+        c2 = ring.convolve_exact(a1, b1)
+        t, q = params.plain_modulus, params.coeff_modulus
+        parts = [ring.scale_and_round(c, t, q) for c in (c0, c1, c2)]
+        data = np.stack(parts, axis=-3)
+        result = Ciphertext(self.context, data, is_ntt=False)
+        self._record("ct_mul", result)
+        return result
+
+    def square(self, ct: Ciphertext) -> Ciphertext:
+        """Homomorphic squaring (CryptoNets' activation substitute)."""
+        return self.multiply(ct, ct)
+
+    def relinearize(self, ct: Ciphertext, relin_keys: RelinKeys) -> Ciphertext:
+        """Reduce a size-3 ciphertext back to size 2 using evaluation keys."""
+        self._check(ct, relin_keys)
+        if ct.size == 2:
+            return ct
+        if ct.size != 3:
+            raise ParameterError(f"relinearize supports size-3 ciphertexts, got {ct.size}")
+        if relin_keys.decomposition_bits != self.context.params.decomposition_bits:
+            raise KeyMismatchError("relinearization keys use a different base w")
+        ring = self.context.ring
+        params = self.context.params
+        coeff = ct.to_coeff().data
+        c2_big = ring.to_bigint(coeff[..., 2, :, :])  # digits need the [0, q) lift
+        base_bits = params.decomposition_bits
+        mask = params.decomposition_base - 1
+        acc0 = ring.ntt(coeff[..., 0, :, :])
+        acc1 = ring.ntt(coeff[..., 1, :, :])
+        for i in range(relin_keys.count):
+            digits = ((c2_big >> (base_bits * i)) & mask).astype(np.int64)
+            d_ntt = ring.ntt(ring.from_signed_small(digits))
+            acc0 = ring.add(acc0, ring.pointwise_mul(relin_keys.key0_ntt[i], d_ntt))
+            acc1 = ring.add(acc1, ring.pointwise_mul(relin_keys.key1_ntt[i], d_ntt))
+        data = np.stack([acc0, acc1], axis=-3)
+        result = Ciphertext(self.context, data, is_ntt=True)
+        self._record("relinearize", result)
+        return result

@@ -1,0 +1,168 @@
+"""Negacyclic number-theoretic transforms over word-size primes.
+
+The FV scheme works in ``R_q = Z_q[x] / (x^n + 1)``.  Multiplication in that
+ring is a *negacyclic* convolution, computed here with the standard
+Longa-Naehrig NTT: powers of a primitive ``2n``-th root of unity ``psi`` are
+folded into the butterfly tables, so no separate pre/post twisting pass is
+needed.
+
+All transforms are vectorized with numpy over arbitrary leading axes: an
+array of shape ``(..., n)`` is transformed along its last axis in one call.
+Primes are restricted to < 2^31 so every intermediate product fits in int64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.he import modmath
+
+
+def bit_reverse_indices(n: int) -> np.ndarray:
+    """Indices ``[bitrev(0), ..., bitrev(n-1)]`` for an ``n``-point transform."""
+    bits = n.bit_length() - 1
+    indices = np.arange(n, dtype=np.int64)
+    result = np.zeros(n, dtype=np.int64)
+    for _ in range(bits):
+        result = (result << 1) | (indices & 1)
+        indices >>= 1
+    return result
+
+
+class NttPlan:
+    """Precomputed tables for negacyclic NTTs of length ``n`` modulo ``prime``.
+
+    Attributes:
+        n: transform length (power of two).
+        prime: NTT-friendly prime, ``prime ≡ 1 (mod 2n)`` and ``prime < 2^31``.
+    """
+
+    def __init__(self, n: int, prime: int) -> None:
+        if n < 2 or n & (n - 1):
+            raise ParameterError(f"n must be a power of two, got {n}")
+        if prime >= 1 << 31:
+            raise ParameterError(f"prime must be < 2^31 for int64 safety, got {prime}")
+        if (prime - 1) % (2 * n):
+            raise ParameterError(f"prime {prime} does not support a {2 * n}-point NTT")
+        self.n = n
+        self.prime = prime
+        psi = modmath.root_of_unity(2 * n, prime)
+        psi_inv = modmath.invert_mod(psi, prime)
+        rev = bit_reverse_indices(n)
+        powers = self._power_table(psi)
+        inv_powers = self._power_table(psi_inv)
+        # psi^bitrev(i) tables drive the merged-twist butterflies.
+        self._psi_rev = powers[rev]
+        self._psi_inv_rev = inv_powers[rev]
+        self._n_inv = modmath.invert_mod(n, prime)
+
+    def _power_table(self, base: int) -> np.ndarray:
+        table = np.empty(self.n, dtype=np.int64)
+        value = 1
+        for i in range(self.n):
+            table[i] = value
+            value = value * base % self.prime
+        return table
+
+    def forward(self, values: np.ndarray) -> np.ndarray:
+        """Negacyclic NTT along the last axis; output in bit-reversed order."""
+        a = self._checked_copy(values)
+        p = self.prime
+        t = self.n
+        m = 1
+        while m < self.n:
+            t //= 2
+            view = a.reshape(*a.shape[:-1], m, 2, t)
+            s = self._psi_rev[m : 2 * m].reshape(m, 1)
+            u = view[..., 0, :]
+            v = view[..., 1, :] * s % p
+            lo = (u + v) % p
+            hi = (u - v) % p
+            view[..., 0, :] = lo
+            view[..., 1, :] = hi
+            m *= 2
+        return a
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`forward`; accepts bit-reversed order, returns
+        natural-order coefficients."""
+        a = self._checked_copy(values)
+        p = self.prime
+        t = 1
+        m = self.n
+        while m > 1:
+            h = m // 2
+            view = a.reshape(*a.shape[:-1], h, 2, t)
+            s = self._psi_inv_rev[h : 2 * h].reshape(h, 1)
+            u = view[..., 0, :]
+            v = view[..., 1, :]
+            lo = (u + v) % p
+            hi = (u - v) % p * s % p
+            view[..., 0, :] = lo
+            view[..., 1, :] = hi
+            t *= 2
+            m = h
+        return a * self._n_inv % p
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Negacyclic convolution of coefficient-domain inputs."""
+        return self.inverse(self.forward(a) * self.forward(b) % self.prime)
+
+    def _checked_copy(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        if values.shape[-1] != self.n:
+            raise ParameterError(
+                f"last axis must have length {self.n}, got {values.shape[-1]}"
+            )
+        return values.astype(np.int64, copy=True)
+
+
+def negacyclic_convolve_exact(
+    a: np.ndarray, b: np.ndarray, n: int, bound: int
+) -> np.ndarray:
+    """Exact integer negacyclic convolution of big-integer polynomials.
+
+    Used for the FV tensor product, whose coefficients (up to ``n * (q/2)^2``)
+    overflow int64.  The inputs are object arrays of Python ints with absolute
+    values below ``bound``; the product is assembled by CRT over enough
+    word-size NTT primes to cover the worst-case coefficient.
+
+    Args:
+        a, b: object arrays with shape ``(..., n)`` holding Python ints.
+        n: polynomial degree (power of two).
+        bound: strict bound on ``abs`` of every input coefficient.
+
+    Returns:
+        An object array of exact (signed) product coefficients.
+    """
+    max_coeff = 2 * n * bound * bound  # symmetric range plus safety factor
+    plans = _aux_plans(n, max_coeff)
+    primes = [plan.prime for plan in plans]
+    residues = []
+    for plan in plans:
+        ra = (a % plan.prime).astype(np.int64)
+        rb = (b % plan.prime).astype(np.int64)
+        residues.append(plan.multiply(ra, rb))
+    modulus = modmath.product(primes)
+    lifted = np.zeros(residues[0].shape, dtype=object)
+    for res, prime in zip(residues, primes):
+        partial = modulus // prime
+        weight = partial * modmath.invert_mod(partial, prime)
+        lifted = lifted + res.astype(object) * weight
+    lifted %= modulus
+    return np.where(lifted > modulus // 2, lifted - modulus, lifted)
+
+
+_AUX_PLAN_CACHE: dict[tuple[int, int], list[NttPlan]] = {}
+
+
+def _aux_plans(n: int, max_coeff: int) -> list[NttPlan]:
+    """NTT plans whose prime product exceeds ``2 * max_coeff``."""
+    needed_bits = max_coeff.bit_length() + 1
+    count = needed_bits // 29 + 1
+    key = (n, count)
+    if key not in _AUX_PLAN_CACHE:
+        primes = modmath.ntt_primes(30, n, count)
+        _AUX_PLAN_CACHE[key] = [NttPlan(n, p) for p in primes]
+    return _AUX_PLAN_CACHE[key]

@@ -1,0 +1,181 @@
+"""RNS arithmetic in the ciphertext ring ``R_q = Z_q[x] / (x^n + 1)``.
+
+The coefficient modulus ``q`` is a product of word-size NTT-friendly primes.
+A ring element is stored as an int64 numpy array of per-prime residues with
+shape ``(..., k, n)`` where ``k = len(primes)``; leading axes batch many
+polynomials so whole ciphertext images can be processed in single numpy
+calls.  Elements exist in either *coefficient* or *NTT (evaluation)* domain;
+the domain is tracked by the caller (see :class:`repro.he.context.Ciphertext`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.he import modmath
+from repro.he.ntt import NttPlan, negacyclic_convolve_exact
+
+
+class PolyContext:
+    """Vectorized RNS polynomial arithmetic for a fixed ``(n, primes)`` pair.
+
+    Args:
+        n: polynomial degree, a power of two.
+        primes: distinct NTT-friendly primes (each ``≡ 1 mod 2n``, < 2^31)
+            whose product is the coefficient modulus ``q``.
+    """
+
+    def __init__(self, n: int, primes: Sequence[int]) -> None:
+        if len(set(primes)) != len(primes):
+            raise ParameterError("coefficient primes must be distinct")
+        self.n = n
+        self.primes = np.array(sorted(primes), dtype=np.int64)
+        self.k = len(primes)
+        self.q = modmath.product(primes)
+        self.plans = [NttPlan(n, int(p)) for p in self.primes]
+        self._p_col = self.primes.reshape(self.k, 1)
+        # CRT lift weights: w_i = (q / p_i) * inv(q / p_i, p_i), so that
+        # value = sum(r_i * w_i) mod q.
+        self._crt_weights = np.array(
+            [
+                (self.q // int(p)) * modmath.invert_mod(self.q // int(p), int(p))
+                for p in self.primes
+            ],
+            dtype=object,
+        )
+
+    # ------------------------------------------------------------------
+    # construction / sampling
+    # ------------------------------------------------------------------
+    def zeros(self, *leading: int) -> np.ndarray:
+        """A zero element (or batch of them) in RNS form."""
+        return np.zeros((*leading, self.k, self.n), dtype=np.int64)
+
+    def from_int_coeffs(self, coeffs: np.ndarray) -> np.ndarray:
+        """Reduce integer coefficients (shape ``(..., n)``, possibly signed
+        Python bigints) into RNS residues of shape ``(..., k, n)``."""
+        coeffs = np.asarray(coeffs)
+        if coeffs.shape[-1] != self.n:
+            raise ParameterError(f"expected degree {self.n}, got {coeffs.shape[-1]}")
+        out = np.empty((*coeffs.shape[:-1], self.k, self.n), dtype=np.int64)
+        if coeffs.dtype == object:
+            for i, p in enumerate(self.primes):
+                out[..., i, :] = (coeffs % int(p)).astype(np.int64)
+        else:
+            coeffs = coeffs.astype(np.int64)
+            for i, p in enumerate(self.primes):
+                out[..., i, :] = coeffs % int(p)
+        return out
+
+    def from_scalar(self, value: int) -> np.ndarray:
+        """Constant polynomial ``value`` in RNS form."""
+        out = self.zeros()
+        out[:, 0] = np.array([value % int(p) for p in self.primes], dtype=np.int64)
+        return out
+
+    def sample_uniform(self, rng: np.random.Generator, *leading: int) -> np.ndarray:
+        """Uniform element of R_q (independent residue per prime)."""
+        out = np.empty((*leading, self.k, self.n), dtype=np.int64)
+        for i, p in enumerate(self.primes):
+            out[..., i, :] = rng.integers(0, int(p), size=(*leading, self.n))
+        return out
+
+    def sample_noise(
+        self, rng: np.random.Generator, stddev: float, *leading: int
+    ) -> np.ndarray:
+        """Truncated discrete Gaussian error polynomial (the scheme's chi)."""
+        bound = int(6 * stddev)
+        raw = np.rint(rng.normal(0.0, stddev, size=(*leading, self.n))).astype(np.int64)
+        np.clip(raw, -bound, bound, out=raw)
+        return self.from_signed_small(raw)
+
+    def sample_ternary(self, rng: np.random.Generator, *leading: int) -> np.ndarray:
+        """Uniform ternary polynomial with coefficients in {-1, 0, 1}."""
+        raw = rng.integers(-1, 2, size=(*leading, self.n)).astype(np.int64)
+        return self.from_signed_small(raw)
+
+    def from_signed_small(self, coeffs: np.ndarray) -> np.ndarray:
+        """RNS form of small signed int64 coefficients (|c| < min prime)."""
+        coeffs = np.asarray(coeffs, dtype=np.int64)
+        expanded = coeffs[..., None, :] % self._p_col
+        return expanded
+
+    # ------------------------------------------------------------------
+    # ring operations (domain-agnostic: valid in both coeff and NTT form)
+    # ------------------------------------------------------------------
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (a + b) % self._p_col
+
+    def sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (a - b) % self._p_col
+
+    def neg(self, a: np.ndarray) -> np.ndarray:
+        return (-a) % self._p_col
+
+    def mul_scalar(self, a: np.ndarray, value: int) -> np.ndarray:
+        scalars = np.array(
+            [value % int(p) for p in self.primes], dtype=np.int64
+        ).reshape(self.k, 1)
+        return a * scalars % self._p_col
+
+    def pointwise_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Coefficient-wise product; this is ring multiplication iff both
+        operands are in NTT domain."""
+        return a * b % self._p_col
+
+    # ------------------------------------------------------------------
+    # domain conversion
+    # ------------------------------------------------------------------
+    def ntt(self, a: np.ndarray) -> np.ndarray:
+        out = np.empty_like(a)
+        for i, plan in enumerate(self.plans):
+            out[..., i, :] = plan.forward(a[..., i, :])
+        return out
+
+    def intt(self, a: np.ndarray) -> np.ndarray:
+        out = np.empty_like(a)
+        for i, plan in enumerate(self.plans):
+            out[..., i, :] = plan.inverse(a[..., i, :])
+        return out
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Full ring multiplication of coefficient-domain operands."""
+        return self.intt(self.pointwise_mul(self.ntt(a), self.ntt(b)))
+
+    # ------------------------------------------------------------------
+    # big-integer bridge (decrypt, tensor product, relinearization digits)
+    # ------------------------------------------------------------------
+    def to_bigint(self, a: np.ndarray) -> np.ndarray:
+        """CRT-lift RNS residues to object-array coefficients in ``[0, q)``.
+
+        Input shape ``(..., k, n)`` -> output shape ``(..., n)``.
+        """
+        acc = np.zeros((*a.shape[:-2], self.n), dtype=object)
+        for i in range(self.k):
+            acc = acc + a[..., i, :].astype(object) * self._crt_weights[i]
+        return acc % self.q
+
+    def to_bigint_centered(self, a: np.ndarray) -> np.ndarray:
+        """Like :meth:`to_bigint` but mapped into ``(-q/2, q/2]``."""
+        lifted = self.to_bigint(a)
+        return np.where(lifted > self.q // 2, lifted - self.q, lifted)
+
+    def convolve_exact(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Exact signed negacyclic convolution of centered bigint coefficient
+        arrays (used by the FV tensor product)."""
+        return negacyclic_convolve_exact(a, b, self.n, self.q // 2 + 1)
+
+    def scale_and_round(self, coeffs: np.ndarray, numer: int, denom: int) -> np.ndarray:
+        """Round ``coeffs * numer / denom`` to nearest integer and reduce to RNS.
+
+        Implements FV's ``round(t/q * .)`` step on exact integer coefficients.
+        """
+        scaled = coeffs * numer
+        half = denom // 2
+        rounded = np.where(
+            scaled >= 0, (scaled + half) // denom, -((-scaled + half) // denom)
+        )
+        return self.from_int_coeffs(rounded)

@@ -1,0 +1,90 @@
+"""Byte-level serialization of FV key material and ciphertexts.
+
+Needed wherever crypto objects cross a trust boundary as raw bytes: the
+attested key-delivery channel (paper Section IV-A) and sealed storage.
+The format is a small header (magic, kind, shape) followed by little-endian
+int64 payload; both ends must agree on the encryption context, which is
+re-attached on load.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.he.context import Ciphertext, Context
+from repro.he.keys import PublicKey, RelinKeys, SecretKey
+
+_MAGIC = b"RPRO"
+_KIND_SECRET = 1
+_KIND_PUBLIC = 2
+_KIND_RELIN = 3
+_KIND_CIPHER = 4
+
+
+def _pack(kind: int, arrays: list[np.ndarray], extra: int = 0) -> bytes:
+    parts = [_MAGIC, struct.pack("<BBI", kind, len(arrays), extra)]
+    for arr in arrays:
+        arr = np.ascontiguousarray(arr, dtype=np.int64)
+        parts.append(struct.pack("<B", arr.ndim))
+        parts.append(struct.pack(f"<{arr.ndim}q", *arr.shape))
+        parts.append(arr.tobytes())
+    return b"".join(parts)
+
+
+def _unpack(data: bytes, expected_kind: int) -> tuple[list[np.ndarray], int]:
+    if data[:4] != _MAGIC:
+        raise ParameterError("not a repro-serialized object (bad magic)")
+    kind, count, extra = struct.unpack_from("<BBI", data, 4)
+    if kind != expected_kind:
+        raise ParameterError(f"expected object kind {expected_kind}, found {kind}")
+    offset = 4 + struct.calcsize("<BBI")
+    arrays = []
+    for _ in range(count):
+        (ndim,) = struct.unpack_from("<B", data, offset)
+        offset += 1
+        shape = struct.unpack_from(f"<{ndim}q", data, offset)
+        offset += 8 * ndim
+        size = int(np.prod(shape)) * 8
+        arr = np.frombuffer(data[offset : offset + size], dtype="<i8").reshape(shape)
+        offset += size
+        arrays.append(arr.astype(np.int64))
+    return arrays, extra
+
+
+def serialize_secret_key(key: SecretKey) -> bytes:
+    return _pack(_KIND_SECRET, [key.s_ntt])
+
+
+def deserialize_secret_key(data: bytes, context: Context) -> SecretKey:
+    arrays, _ = _unpack(data, _KIND_SECRET)
+    return SecretKey(context, arrays[0])
+
+
+def serialize_public_key(key: PublicKey) -> bytes:
+    return _pack(_KIND_PUBLIC, [key.p0_ntt, key.p1_ntt])
+
+
+def deserialize_public_key(data: bytes, context: Context) -> PublicKey:
+    arrays, _ = _unpack(data, _KIND_PUBLIC)
+    return PublicKey(context, arrays[0], arrays[1])
+
+
+def serialize_relin_keys(keys: RelinKeys) -> bytes:
+    return _pack(_KIND_RELIN, [keys.key0_ntt, keys.key1_ntt], extra=keys.decomposition_bits)
+
+
+def deserialize_relin_keys(data: bytes, context: Context) -> RelinKeys:
+    arrays, extra = _unpack(data, _KIND_RELIN)
+    return RelinKeys(context, arrays[0], arrays[1], decomposition_bits=extra)
+
+
+def serialize_ciphertext(ct: Ciphertext) -> bytes:
+    return _pack(_KIND_CIPHER, [ct.data], extra=1 if ct.is_ntt else 0)
+
+
+def deserialize_ciphertext(data: bytes, context: Context) -> Ciphertext:
+    arrays, extra = _unpack(data, _KIND_CIPHER)
+    return Ciphertext(context, arrays[0], is_ntt=bool(extra))

@@ -1,0 +1,366 @@
+"""CNN layers with forward and backward passes (paper Section II-A).
+
+Implements every layer family the paper's Table VI uses -- convolution,
+pooling (mean, scaled-mean, max), fully connected, and the activation zoo
+(Sigmoid, ReLU, Tanh, LeakyReLU, plus CryptoNets' Square substitute) -- as
+plain numpy, with enough backprop to train the paper's 4-layer MNIST CNN
+from scratch.
+
+Tensors are NCHW: ``(batch, channels, height, width)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class Layer:
+    """Base layer: forward/backward plus parameter access for the optimizer."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def params(self) -> list[np.ndarray]:
+        """Trainable arrays (updated in place by the optimizer)."""
+        return []
+
+    def grads(self) -> list[np.ndarray]:
+        """Gradients aligned with :meth:`params`."""
+        return []
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Shape inference for a single sample (no batch axis)."""
+        return input_shape
+
+
+class Conv2D(Layer):
+    """2D convolution (valid padding).
+
+    Args:
+        in_channels: input channel count.
+        out_channels: number of kernels.
+        kernel_size: square kernel side.
+        stride: spatial stride.
+        rng: initializer randomness (He-style scaling).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if kernel_size < 1 or stride < 1:
+            raise ModelError("kernel_size and stride must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng()
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = rng.normal(
+            0.0, np.sqrt(2.0 / fan_in), size=(out_channels, in_channels, kernel_size, kernel_size)
+        )
+        self.bias = np.zeros(out_channels)
+        self.stride = stride
+        self._x: np.ndarray | None = None
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+
+    @property
+    def kernel_size(self) -> int:
+        return self.weight.shape[-1]
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        if c != self.weight.shape[1]:
+            raise ModelError(
+                f"Conv2D expects {self.weight.shape[1]} channels, got {c}"
+            )
+        k, s = self.kernel_size, self.stride
+        if h < k or w < k:
+            raise ModelError(f"input {h}x{w} smaller than kernel {k}")
+        return (self.weight.shape[0], (h - k) // s + 1, (w - k) // s + 1)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return conv2d_forward(x, self.weight, self.bias, self.stride)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ModelError("backward called before forward")
+        x = self._x
+        k, s = self.kernel_size, self.stride
+        _, _, oh, ow = grad.shape
+        self.grad_bias = grad.sum(axis=(0, 2, 3))
+        self.grad_weight = np.zeros_like(self.weight)
+        grad_x = np.zeros_like(x)
+        for i in range(k):
+            for j in range(k):
+                patch = x[:, :, i : i + oh * s : s, j : j + ow * s : s]
+                # dW[f,c,i,j] = sum_{b,y,x} grad[b,f,y,x] * patch[b,c,y,x]
+                self.grad_weight[:, :, i, j] = np.einsum("bfyx,bcyx->fc", grad, patch)
+                grad_x[:, :, i : i + oh * s : s, j : j + ow * s : s] += np.einsum(
+                    "bfyx,fc->bcyx", grad, self.weight[:, :, i, j]
+                )
+        return grad_x
+
+    def params(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def grads(self) -> list[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+
+def conv2d_forward(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None, stride: int = 1
+) -> np.ndarray:
+    """Functional convolution shared by the float and quantized paths."""
+    _, c, h, w = x.shape
+    f, wc, k, _ = weight.shape
+    if wc != c:
+        raise ModelError(f"weight expects {wc} channels, got {c}")
+    oh = (h - k) // stride + 1
+    ow = (w - k) // stride + 1
+    out = np.zeros((x.shape[0], f, oh, ow), dtype=np.result_type(x, weight))
+    for i in range(k):
+        for j in range(k):
+            patch = x[:, :, i : i + oh * stride : stride, j : j + ow * stride : stride]
+            out += np.einsum("bcyx,fc->bfyx", patch, weight[:, :, i, j])
+    if bias is not None:
+        out += bias.reshape(1, f, 1, 1)
+    return out
+
+
+class Dense(Layer):
+    """Fully connected layer over flattened inputs.
+
+    The paper realizes its FC layer as a convolution whose kernel equals the
+    input feature map (Table VI); over flattened inputs the two are the same
+    weighted sum, and this form trains faster.
+    """
+
+    def __init__(
+        self, in_features: int, out_features: int, rng: np.random.Generator | None = None
+    ) -> None:
+        rng = rng if rng is not None else np.random.default_rng()
+        self.weight = rng.normal(0.0, np.sqrt(2.0 / in_features), size=(in_features, out_features))
+        self.bias = np.zeros(out_features)
+        self._x: np.ndarray | None = None
+        self._shape: tuple[int, ...] | None = None
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        flat = int(np.prod(input_shape))
+        if flat != self.weight.shape[0]:
+            raise ModelError(
+                f"Dense expects {self.weight.shape[0]} features, got {flat}"
+            )
+        return (self.weight.shape[1],)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        flat = x.reshape(x.shape[0], -1)
+        self._x = flat
+        return flat @ self.weight + self.bias
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None or self._shape is None:
+            raise ModelError("backward called before forward")
+        self.grad_weight = self._x.T @ grad
+        self.grad_bias = grad.sum(axis=0)
+        return (grad @ self.weight.T).reshape(self._shape)
+
+    def params(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def grads(self) -> list[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+
+class _Pool(Layer):
+    """Shared plumbing for non-overlapping window pools."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ModelError("pool window must be >= 1")
+        self.window = window
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        if h % self.window or w % self.window:
+            raise ModelError(
+                f"input {h}x{w} not divisible by pool window {self.window}"
+            )
+        return (c, h // self.window, w // self.window)
+
+    def _windows(self, x: np.ndarray) -> np.ndarray:
+        b, c, h, w = x.shape
+        k = self.window
+        if h % k or w % k:
+            raise ModelError(f"input {h}x{w} not divisible by pool window {k}")
+        return x.reshape(b, c, h // k, k, w // k, k)
+
+
+class MeanPool2D(_Pool):
+    """Classic mean pooling (what the enclave computes in the hybrid)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._in_shape = x.shape
+        return self._windows(x).mean(axis=(3, 5))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        k = self.window
+        spread = grad / (k * k)
+        return np.repeat(np.repeat(spread, k, axis=2), k, axis=3).reshape(self._in_shape)
+
+
+class ScaledMeanPool2D(_Pool):
+    """Sum pooling: CryptoNets' division-free mean-pool substitute.
+
+    Outputs the window *sum*, i.e. the mean magnified by ``window**2`` -- the
+    numerical diffusion the paper's Section III-A flags as propagating into
+    subsequent layers.
+    """
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._in_shape = x.shape
+        return self._windows(x).sum(axis=(3, 5))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        k = self.window
+        return np.repeat(np.repeat(grad, k, axis=2), k, axis=3).reshape(self._in_shape)
+
+
+class MaxPool2D(_Pool):
+    """Max pooling -- only computable inside SGX in the paper's setting."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._in_shape = x.shape
+        windows = self._windows(x)
+        b, c, oh, k, ow, _ = windows.shape
+        flat = windows.transpose(0, 1, 2, 4, 3, 5).reshape(b, c, oh, ow, k * k)
+        self._argmax = flat.argmax(axis=-1)
+        return flat.max(axis=-1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        b, c, oh, ow = grad.shape
+        k = self.window
+        flat_grad = np.zeros((b, c, oh, ow, k * k), dtype=grad.dtype)
+        np.put_along_axis(flat_grad, self._argmax[..., None], grad[..., None], axis=-1)
+        windows = flat_grad.reshape(b, c, oh, ow, k, k).transpose(0, 1, 2, 4, 3, 5)
+        return windows.reshape(self._in_shape)
+
+
+class Activation(Layer):
+    """Base for stateless elementwise activations."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return self.apply(x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self.derivative(self._x)
+
+    @staticmethod
+    def apply(x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def derivative(x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class Sigmoid(Activation):
+    """sigma(x) = 1 / (1 + e^-x) -- the paper's case-study activation."""
+
+    @staticmethod
+    def apply(x: np.ndarray) -> np.ndarray:
+        out = np.empty_like(x, dtype=np.float64)
+        positive = x >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+        ex = np.exp(x[~positive])
+        out[~positive] = ex / (1.0 + ex)
+        return out
+
+    @staticmethod
+    def derivative(x: np.ndarray) -> np.ndarray:
+        s = Sigmoid.apply(x)
+        return s * (1.0 - s)
+
+
+class ReLU(Activation):
+    """f(x) = max(0, x)."""
+
+    @staticmethod
+    def apply(x: np.ndarray) -> np.ndarray:
+        return np.maximum(0.0, x)
+
+    @staticmethod
+    def derivative(x: np.ndarray) -> np.ndarray:
+        return (x > 0).astype(np.float64)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent: tanh(x) = (e^x - e^-x) / (e^x + e^-x)."""
+
+    @staticmethod
+    def apply(x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    @staticmethod
+    def derivative(x: np.ndarray) -> np.ndarray:
+        t = np.tanh(x)
+        return 1.0 - t * t
+
+
+class LeakyReLU(Activation):
+    """f(x) = max(alpha * x, x)."""
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        self.alpha = alpha
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return np.where(x > 0, x, self.alpha * x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * np.where(self._x > 0, 1.0, self.alpha)
+
+    @staticmethod
+    def apply(x: np.ndarray) -> np.ndarray:  # pragma: no cover - via instance
+        raise ModelError("LeakyReLU is parameterized; use an instance")
+
+    @staticmethod
+    def derivative(x: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise ModelError("LeakyReLU is parameterized; use an instance")
+
+
+class Square(Activation):
+    """f(x) = x^2: CryptoNets' HE-friendly activation substitute."""
+
+    @staticmethod
+    def apply(x: np.ndarray) -> np.ndarray:
+        return x * x
+
+    @staticmethod
+    def derivative(x: np.ndarray) -> np.ndarray:
+        return 2.0 * x
+
+
+class Flatten(Layer):
+    """Collapses all non-batch axes into one feature axis."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(self._shape)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (int(np.prod(input_shape)),)

@@ -1,0 +1,133 @@
+"""Training loop: softmax cross-entropy + SGD with momentum.
+
+Just enough optimizer to train the paper's 4-layer CNN to useful accuracy on
+the synthetic dataset; the paper assumes a pre-trained model (Section IV-B),
+so training quality only needs to produce a realistic weight distribution
+for the privacy-preserving pipelines to consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.model import Sequential
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilized."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. the logits."""
+    if logits.shape[0] != labels.shape[0]:
+        raise ModelError("logits and labels disagree on batch size")
+    probs = softmax(logits)
+    batch = logits.shape[0]
+    eps = 1e-12
+    loss = -np.log(probs[np.arange(batch), labels] + eps).mean()
+    grad = probs.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    return float(loss), grad / batch
+
+
+@dataclass
+class SGD:
+    """Stochastic gradient descent with momentum and global-norm clipping.
+
+    Clipping matters for the CryptoNets-style Square activation, whose
+    unbounded derivative otherwise blows the loss up within a few batches.
+    """
+
+    learning_rate: float = 0.1
+    momentum: float = 0.9
+    clip_norm: float | None = 5.0
+    _velocity: list[np.ndarray] = field(default_factory=list)
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ModelError("params and grads length mismatch")
+        if not self._velocity:
+            self._velocity = [np.zeros_like(p) for p in params]
+        scale = 1.0
+        if self.clip_norm is not None:
+            total = np.sqrt(sum(float(np.square(g).sum()) for g in grads))
+            if total > self.clip_norm:
+                scale = self.clip_norm / total
+        for p, g, v in zip(params, grads, self._velocity):
+            v *= self.momentum
+            v -= self.learning_rate * scale * g
+            p += v
+
+
+@dataclass
+class TrainReport:
+    """Per-epoch history of a training run."""
+
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.accuracies[-1] if self.accuracies else 0.0
+
+
+def accuracy(model: Sequential, images: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct argmax predictions."""
+    return float((model.predict(images) == labels).mean())
+
+
+def train(
+    model: Sequential,
+    images: np.ndarray,
+    labels: np.ndarray,
+    epochs: int = 5,
+    batch_size: int = 32,
+    learning_rate: float = 0.1,
+    momentum: float = 0.9,
+    eval_images: np.ndarray | None = None,
+    eval_labels: np.ndarray | None = None,
+    seed: int = 0,
+    verbose: bool = False,
+) -> TrainReport:
+    """Train ``model`` in place.
+
+    Args:
+        images: float inputs ``(N, C, H, W)`` (normalize uint8 data first).
+        labels: int class labels ``(N,)``.
+        eval_images / eval_labels: optional held-out split; per-epoch accuracy
+            is recorded against it (else against the training data).
+
+    Returns:
+        The loss/accuracy history.
+    """
+    rng = np.random.default_rng(seed)
+    optimizer = SGD(learning_rate=learning_rate, momentum=momentum)
+    report = TrainReport()
+    n = images.shape[0]
+    for epoch in range(epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        batches = 0
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            logits = model.forward(images[idx])
+            loss, grad = cross_entropy(logits, labels[idx])
+            model.backward(grad)
+            optimizer.step(model.params(), model.grads())
+            epoch_loss += loss
+            batches += 1
+        report.losses.append(epoch_loss / max(1, batches))
+        if eval_images is not None and eval_labels is not None:
+            acc = accuracy(model, eval_images, eval_labels)
+        else:
+            acc = accuracy(model, images, labels)
+        report.accuracies.append(acc)
+        if verbose:
+            print(f"epoch {epoch + 1}/{epochs}: loss={report.losses[-1]:.4f} acc={acc:.3f}")
+    return report

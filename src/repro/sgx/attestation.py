@@ -1,0 +1,158 @@
+"""Remote attestation: reports, quotes and the verification service.
+
+Mirrors the DCAP flow the paper leans on (Section IV-A):
+
+1. the enclave produces a *report* (measurement + user_data) MACed with a
+   platform key only real enclaves on that platform can use;
+2. the platform's *quoting service* (the QE analogue) checks the local MAC
+   and re-signs the body with its provisioned attestation key, producing a
+   *quote* that can leave the machine;
+3. a relying party hands the quote to the *attestation verification service*
+   (the IAS/DCAP analogue), which knows the attestation keys of genuine
+   platforms and returns the verified report -- including the ``user_data``
+   field the paper uses to ship homomorphic key material to users without
+   any additional trusted third party.
+
+Signatures are HMACs under the simulated provisioning chain; the functional
+contract (forge-proof binding of measurement and user_data to a genuine
+platform) is what the framework's key-distribution flow requires.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass
+
+from repro.errors import AttestationError
+from repro.sgx.measurement import Measurement
+
+
+def _report_body(measurement: Measurement, user_data: bytes) -> bytes:
+    return b"|".join(
+        [measurement.mrenclave.encode(), measurement.mrsigner.encode(), user_data]
+    )
+
+
+@dataclass(frozen=True)
+class Report:
+    """Local attestation report (EREPORT analogue)."""
+
+    measurement: Measurement
+    user_data: bytes
+    mac: bytes
+
+    @classmethod
+    def create(cls, measurement: Measurement, user_data: bytes, report_key: bytes) -> "Report":
+        mac = hmac.new(report_key, _report_body(measurement, user_data), hashlib.sha256).digest()
+        return cls(measurement=measurement, user_data=user_data, mac=mac)
+
+    def verify_mac(self, report_key: bytes) -> bool:
+        expected = hmac.new(
+            report_key, _report_body(self.measurement, self.user_data), hashlib.sha256
+        ).digest()
+        return hmac.compare_digest(expected, self.mac)
+
+
+@dataclass(frozen=True)
+class Quote:
+    """Remotely verifiable attestation evidence."""
+
+    platform_id: str
+    measurement: Measurement
+    user_data: bytes
+    signature: bytes
+
+    def body(self) -> bytes:
+        return self.platform_id.encode() + b"|" + _report_body(self.measurement, self.user_data)
+
+
+class QuotingService:
+    """The platform's quoting enclave: converts reports into quotes."""
+
+    def __init__(self, platform, platform_id: str | None = None) -> None:
+        self.platform = platform
+        self.platform_id = platform_id or os.urandom(8).hex()
+        self._attestation_key = os.urandom(32)
+
+    @property
+    def attestation_key(self) -> bytes:
+        """Released only to the provisioning flow (verifier registration)."""
+        return self._attestation_key
+
+    def quote(self, report: Report) -> Quote:
+        """Check the local report MAC and sign the body for remote parties.
+
+        Raises:
+            AttestationError: the report was not produced by a genuine
+                enclave on this platform.
+        """
+        if not report.verify_mac(self.platform.report_key):
+            raise AttestationError("report MAC invalid: not from this platform")
+        self.platform.clock.charge(self.platform.cost_model.quote_s, "attestation")
+        body = self.platform_id.encode() + b"|" + _report_body(
+            report.measurement, report.user_data
+        )
+        signature = hmac.new(self._attestation_key, body, hashlib.sha256).digest()
+        return Quote(
+            platform_id=self.platform_id,
+            measurement=report.measurement,
+            user_data=report.user_data,
+            signature=signature,
+        )
+
+
+@dataclass(frozen=True)
+class VerifiedReport:
+    """What a relying party learns from a successful verification."""
+
+    platform_id: str
+    measurement: Measurement
+    user_data: bytes
+
+
+class AttestationVerificationService:
+    """The IAS/DCAP analogue: knows genuine platforms' attestation keys."""
+
+    def __init__(self) -> None:
+        self._platforms: dict[str, bytes] = {}
+
+    def register_platform(self, quoting_service: QuotingService) -> None:
+        """Provisioning step: record a genuine platform's attestation key."""
+        self._platforms[quoting_service.platform_id] = quoting_service.attestation_key
+
+    def verify(
+        self,
+        quote: Quote,
+        expected_mrenclave: str | None = None,
+        expected_mrsigner: str | None = None,
+    ) -> VerifiedReport:
+        """Verify a quote end to end.
+
+        Args:
+            quote: the evidence.
+            expected_mrenclave: if given, the trusted code identity to insist on.
+            expected_mrsigner: if given, the vendor identity to insist on.
+
+        Raises:
+            AttestationError: unknown platform, bad signature, or identity
+                mismatch.
+        """
+        key = self._platforms.get(quote.platform_id)
+        if key is None:
+            raise AttestationError(f"platform {quote.platform_id} is not registered")
+        expected_sig = hmac.new(key, quote.body(), hashlib.sha256).digest()
+        if not hmac.compare_digest(expected_sig, quote.signature):
+            raise AttestationError("quote signature invalid (forged or tampered)")
+        if expected_mrenclave is not None and quote.measurement.mrenclave != expected_mrenclave:
+            raise AttestationError(
+                "MRENCLAVE mismatch: the enclave is not running the expected code"
+            )
+        if expected_mrsigner is not None and quote.measurement.mrsigner != expected_mrsigner:
+            raise AttestationError("MRSIGNER mismatch: unexpected enclave vendor")
+        return VerifiedReport(
+            platform_id=quote.platform_id,
+            measurement=quote.measurement,
+            user_data=quote.user_data,
+        )

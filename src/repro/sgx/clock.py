@@ -1,0 +1,89 @@
+"""Simulated clock: separates real compute time from modeled SGX overhead.
+
+The simulator *actually executes* trusted code (results are real); what it
+models is the extra time SGX hardware would charge -- EPC encryption slowdown,
+ECALL/OCALL transitions, paging.  :class:`SimClock` accumulates both real
+elapsed seconds and modeled overhead seconds, per category, so benchmarks can
+report ``simulated = real + overhead`` and decompose where the time went
+(exactly the decomposition the paper's Tables I/IV/V make).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimClock:
+    """Accumulates real and modeled time, tagged by category."""
+
+    real_s: float = 0.0
+    overhead_s: float = 0.0
+    by_category: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def now_s(self) -> float:
+        """Total simulated seconds (real compute + modeled overhead)."""
+        return self.real_s + self.overhead_s
+
+    def charge(self, seconds: float, category: str) -> None:
+        """Record ``seconds`` of modeled overhead under ``category``."""
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time: {seconds}")
+        self.overhead_s += seconds
+        self.by_category[category] = self.by_category.get(category, 0.0) + seconds
+
+    def elapse_real(self, seconds: float) -> None:
+        """Record real (measured) compute seconds."""
+        if seconds < 0:
+            raise ValueError(f"cannot elapse negative time: {seconds}")
+        self.real_s += seconds
+        self.by_category["compute"] = self.by_category.get("compute", 0.0) + seconds
+
+    @contextmanager
+    def measure_real(self):
+        """Context manager timing a real code block into the clock."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.elapse_real(time.perf_counter() - start)
+
+    def snapshot(self) -> dict[str, float]:
+        """Copy of the per-category totals (including real compute)."""
+        return dict(self.by_category)
+
+    def reset(self) -> None:
+        self.real_s = 0.0
+        self.overhead_s = 0.0
+        self.by_category.clear()
+
+
+@dataclass
+class ClockWindow:
+    """Delta-reader over a :class:`SimClock` for scoped measurements."""
+
+    clock: SimClock
+    _start_real: float = 0.0
+    _start_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.restart()
+
+    def restart(self) -> None:
+        self._start_real = self.clock.real_s
+        self._start_overhead = self.clock.overhead_s
+
+    @property
+    def real_s(self) -> float:
+        return self.clock.real_s - self._start_real
+
+    @property
+    def overhead_s(self) -> float:
+        return self.clock.overhead_s - self._start_overhead
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.real_s + self.overhead_s

@@ -1,0 +1,98 @@
+"""Benchmark statistics: paper-format summaries and measurement helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench import Summary, measure_repeated, measure_simulated, t_quantile_96
+from repro.errors import ReproError
+from repro.sgx.clock import SimClock
+
+
+class TestTQuantile:
+    def test_known_values(self):
+        assert t_quantile_96(1) == pytest.approx(15.895)
+        assert t_quantile_96(9) == pytest.approx(2.398)
+
+    def test_interpolation_monotone(self):
+        assert t_quantile_96(10) > t_quantile_96(11) > t_quantile_96(12)
+
+    def test_large_df_approaches_normal(self):
+        assert t_quantile_96(10_000) == pytest.approx(2.054)
+
+    def test_rejects_zero_df(self):
+        with pytest.raises(ReproError):
+            t_quantile_96(0)
+
+
+class TestSummary:
+    def test_known_sample(self):
+        s = Summary.of([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)
+        assert s.count == 3
+        half = t_quantile_96(2) * 1.0 / math.sqrt(3)
+        assert s.ci_low == pytest.approx(2.0 - half)
+        assert s.ci_high == pytest.approx(2.0 + half)
+
+    def test_single_sample(self):
+        s = Summary.of([5.0])
+        assert s.mean == 5.0
+        assert s.std == 0.0
+        assert (s.ci_low, s.ci_high) == (5.0, 5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            Summary.of([])
+
+    def test_row_formatting(self):
+        row = Summary.of([0.001, 0.002, 0.003]).row(unit_scale=1e3)
+        assert row[0] == "2.000"
+        assert row[2].startswith("[") and row[2].endswith("]")
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=50))
+    def test_ci_contains_mean(self, samples):
+        s = Summary.of(samples)
+        assert s.ci_low <= s.mean <= s.ci_high
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=2, max_size=30))
+    def test_std_nonnegative(self, samples):
+        assert Summary.of(samples).std >= 0
+
+
+class TestMeasurement:
+    def test_measure_repeated_counts(self):
+        calls = []
+        samples = measure_repeated(lambda: calls.append(1), 5)
+        assert len(samples) == 5
+        assert len(calls) == 5
+        assert all(t >= 0 for t in samples)
+
+    def test_measure_repeated_rejects_zero(self):
+        with pytest.raises(ReproError):
+            measure_repeated(lambda: None, 0)
+
+    def test_measure_simulated_includes_overhead(self):
+        clock = SimClock()
+
+        def op():
+            clock.charge(0.5, "sgx")
+
+        samples = measure_simulated(op, clock, 3)
+        assert all(t >= 0.5 for t in samples)
+
+    def test_measure_simulated_tracks_real_time(self):
+        clock = SimClock()
+        samples = measure_simulated(lambda: sum(range(100_000)), clock, 2)
+        assert all(t > 0 for t in samples)
+
+    def test_measure_simulated_no_double_count(self):
+        """Overhead charged before the window must not leak into samples."""
+        clock = SimClock()
+        clock.charge(100.0, "earlier")
+        samples = measure_simulated(lambda: None, clock, 2)
+        assert all(t < 1.0 for t in samples)

@@ -1,0 +1,102 @@
+"""Table/series printers and the benchmark workload registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    SCALES,
+    current_scale,
+    format_series,
+    format_table,
+    markdown_table,
+)
+from repro.bench.workloads import BenchScale
+from repro.errors import ReproError
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["a", "1"], ["long-name", "22"]])
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_title_included(self):
+        assert format_table(["x"], [["1"]], title="Table I").startswith("Table I")
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ReproError):
+            format_table(["x"], [])
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestFormatSeries:
+    def test_columns_per_series(self):
+        text = format_series("k", [1, 2], {"t": [0.1, 0.2], "ops": [5.0, 6.0]})
+        assert "0.1000" in text and "6.0000" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            format_series("k", [1, 2], {"t": [0.1]})
+
+    def test_digits(self):
+        text = format_series("k", [1], {"t": [0.123456]}, digits=2)
+        assert "0.12" in text
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = markdown_table(["a", "b"], [["1", "2"]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+
+class TestScales:
+    def test_registry_names_match_keys(self):
+        for name, scale in SCALES.items():
+            assert scale.name == name
+
+    def test_paper_scale_is_table_vi(self):
+        paper = SCALES["paper"]
+        assert paper.image_size == 28
+        assert paper.channels == 6
+        assert paper.kernel_size == 5
+        assert paper.batch_size == 10
+        assert paper.poly_degree == 1024  # the paper's x^1024 + 1
+
+    def test_conv_output(self):
+        assert SCALES["paper"].conv_output == 24  # 28 - 5 + 1
+
+    def test_current_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        assert current_scale().name == "tiny"
+
+    def test_current_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert current_scale().name == "small"
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+        with pytest.raises(ReproError):
+            current_scale()
+
+    def test_scales_ordered_by_cost(self):
+        tiny, small, paper = SCALES["tiny"], SCALES["small"], SCALES["paper"]
+        assert tiny.image_size <= small.image_size <= paper.image_size
+        assert tiny.train_size <= small.train_size <= paper.train_size
+
+    def test_benchscale_is_frozen(self):
+        with pytest.raises(AttributeError):
+            SCALES["tiny"].image_size = 99
+
+    def test_custom_scale_construction(self):
+        scale = BenchScale(
+            name="x", poly_degree=256, image_size=8, channels=1, kernel_size=3,
+            batch_size=1, repeats=2, train_size=50, epochs=1,
+        )
+        assert scale.conv_output == 6

@@ -1,0 +1,43 @@
+"""Shared core-pipeline fixtures: a tiny trained deployment.
+
+Session-scoped because training + parameter search dominate setup time and
+every test treats the models as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import parameters_for_pipeline, train_paper_models
+
+
+@pytest.fixture(scope="session")
+def models():
+    return train_paper_models(
+        train_size=300, test_size=60, epochs=4, image_size=10, channels=2, kernel_size=3
+    )
+
+
+@pytest.fixture(scope="session")
+def q_sigmoid(models):
+    return models.quantized_sigmoid()
+
+
+@pytest.fixture(scope="session")
+def q_square(models):
+    return models.quantized_square()
+
+
+@pytest.fixture(scope="session")
+def hybrid_params(q_sigmoid):
+    return parameters_for_pipeline(q_sigmoid, 256)
+
+
+@pytest.fixture(scope="session")
+def pure_he_params(q_square):
+    return parameters_for_pipeline(q_square, 256)
+
+
+@pytest.fixture(scope="session")
+def test_images(models):
+    return models.dataset.test_images[:2]

@@ -1,0 +1,178 @@
+"""The inference enclave's trusted operations, checked against plaintext."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InferenceEnclave
+from repro.errors import EnclaveError, PipelineError
+from repro.he import Context, Decryptor, Encryptor, Evaluator, ScalarEncoder
+from repro.nn.layers import Sigmoid
+from repro.sgx import SgxPlatform
+
+
+@pytest.fixture()
+def platform():
+    return SgxPlatform(platform_secret=b"\x11" * 32)
+
+
+@pytest.fixture()
+def enclave(platform, hybrid_params):
+    handle = platform.load_enclave(InferenceEnclave, hybrid_params, 5)
+    handle.ecall("generate_keys")
+    return handle
+
+
+@pytest.fixture()
+def userland(enclave, hybrid_params):
+    """User-side crypto objects under the enclave's public key."""
+    context = Context(hybrid_params)
+    public = enclave.ecall("get_public_key")
+    rng = np.random.default_rng(8)
+    # Re-anchor the key to the user's context object (same parameters).
+    from repro.he.keys import PublicKey
+
+    public = PublicKey(context, public.p0_ntt, public.p1_ntt)
+    return {
+        "context": context,
+        "encoder": ScalarEncoder(context),
+        "encryptor": Encryptor(context, public, rng),
+        "evaluator": Evaluator(context),
+    }
+
+
+def encrypt_values(userland, values):
+    return userland["encryptor"].encrypt(userland["encoder"].encode(values))
+
+
+def decrypt_with_enclave(enclave, userland, ct):
+    """Tests may peek via the enclave's own refresh-free decrypt path."""
+    plain = enclave._instance._decryptor.decrypt(ct)
+    return userland["encoder"].decode(plain)
+
+
+class TestKeyAuthority:
+    def test_generate_before_use_enforced(self, platform, hybrid_params):
+        fresh = platform.load_enclave(InferenceEnclave, hybrid_params, 1)
+        with pytest.raises(PipelineError):
+            fresh.ecall("get_public_key")
+
+    def test_relin_keys_work_for_outside_evaluator(self, enclave, userland):
+        relin = enclave.ecall("generate_relin_keys")
+        ct = userland["evaluator"].square(encrypt_values(userland, np.array([7])))
+        relined = userland["evaluator"].relinearize(ct, relin)
+        assert decrypt_with_enclave(enclave, userland, relined)[0] == 49
+
+    def test_private_helpers_not_callable(self, enclave):
+        with pytest.raises(EnclaveError):
+            enclave.ecall("_decrypt_values", None)
+
+
+class TestActivationPool:
+    def test_matches_quantized_stage(self, enclave, userland, q_sigmoid, models):
+        images = models.dataset.test_images[:2]
+        conv_int = q_sigmoid.conv_stage(q_sigmoid.quantize_images(images))
+        expected = q_sigmoid.enclave_stage(conv_int)
+        ct = encrypt_values(userland, conv_int)
+        out = enclave.ecall(
+            "activation_pool",
+            ct,
+            q_sigmoid.conv_output_scale,
+            q_sigmoid.act_scale,
+            q_sigmoid.pool_window,
+            "sigmoid",
+        )
+        assert np.array_equal(decrypt_with_enclave(enclave, userland, out), expected)
+
+    @pytest.mark.parametrize("activation", ["relu", "tanh", "leaky_relu"])
+    def test_other_activations_supported(self, enclave, userland, activation):
+        values = np.arange(-8, 8).reshape(1, 1, 4, 4) * 10
+        ct = encrypt_values(userland, values)
+        out = enclave.ecall("activation_pool", ct, 10.0, 100, 2, activation)
+        assert out.batch_shape == (1, 1, 2, 2)
+
+    def test_unknown_activation_rejected(self, enclave, userland):
+        ct = encrypt_values(userland, np.zeros((1, 1, 2, 2), dtype=np.int64))
+        with pytest.raises(PipelineError):
+            enclave.ecall("activation_pool", ct, 1.0, 1, 2, "softmax")
+
+
+class TestSigmoidEcall:
+    def test_exact_sigmoid(self, enclave, userland):
+        raw = np.array([-20, -5, 0, 5, 20], dtype=np.int64)
+        ct = encrypt_values(userland, raw)
+        out = enclave.ecall("sigmoid", ct, 10.0, 1000)
+        expected = np.rint(Sigmoid.apply(raw / 10.0) * 1000).astype(np.int64)
+        assert np.array_equal(decrypt_with_enclave(enclave, userland, out), expected)
+
+
+class TestPoolingEcalls:
+    def test_divide(self, enclave, userland):
+        ct = encrypt_values(userland, np.array([[100, 101], [7, -9]]))
+        out = enclave.ecall("divide", ct, 4)
+        assert np.array_equal(
+            decrypt_with_enclave(enclave, userland, out), [[25, 25], [2, -2]]
+        )
+
+    def test_divide_rejects_nonpositive(self, enclave, userland):
+        ct = encrypt_values(userland, np.array([1]))
+        with pytest.raises(PipelineError):
+            enclave.ecall("divide", ct, 0)
+
+    def test_mean_pool(self, enclave, userland):
+        values = np.arange(16, dtype=np.int64).reshape(1, 1, 4, 4)
+        out = enclave.ecall("mean_pool", encrypt_values(userland, values), 2)
+        # Window means: [[2.5, 4.5], [10.5, 12.5]] -> banker's rounding.
+        got = decrypt_with_enclave(enclave, userland, out)
+        assert got.shape == (1, 1, 2, 2)
+        assert np.abs(got - np.array([[[[2.5, 4.5], [10.5, 12.5]]]])).max() <= 0.5
+
+    def test_max_pool(self, enclave, userland):
+        values = np.arange(16, dtype=np.int64).reshape(1, 1, 4, 4)
+        out = enclave.ecall("max_pool", encrypt_values(userland, values), 2)
+        assert np.array_equal(
+            decrypt_with_enclave(enclave, userland, out),
+            [[[[5, 7], [13, 15]]]],
+        )
+
+    def test_pool_shape_mismatch_rejected(self, enclave, userland):
+        values = np.zeros((1, 1, 5, 5), dtype=np.int64)
+        with pytest.raises(PipelineError):
+            enclave.ecall("mean_pool", encrypt_values(userland, values), 2)
+
+
+class TestRefresh:
+    def test_restores_noise_budget(self, enclave, userland, hybrid_params):
+        evaluator = userland["evaluator"]
+        encoder = userland["encoder"]
+        ct = encrypt_values(userland, np.array([9]))
+        squared = evaluator.square(ct)  # size 3, heavy noise
+        refreshed = enclave.ecall("refresh", squared)
+        decryptor = enclave._instance._decryptor
+        assert refreshed.size == 2
+        assert decryptor.invariant_noise_budget(refreshed) > (
+            decryptor.invariant_noise_budget(squared)
+        )
+        assert encoder.decode(decryptor.decrypt(refreshed))[0] == 81
+
+    def test_preserves_batch_shape(self, enclave, userland):
+        ct = encrypt_values(userland, np.arange(12).reshape(3, 4))
+        refreshed = enclave.ecall("refresh", ct)
+        assert refreshed.batch_shape == (3, 4)
+
+
+class TestValueGuards:
+    def test_overflowing_reencryption_rejected(self, enclave, userland, hybrid_params):
+        huge = hybrid_params.plain_modulus  # sigmoid output scaled too far
+        ct = encrypt_values(userland, np.array([1000]))
+        with pytest.raises(PipelineError):
+            enclave.ecall("sigmoid", ct, 0.0001, huge * 10)
+
+    def test_non_scalar_ciphertext_rejected(self, enclave, userland):
+        from repro.he import IntegerEncoder
+
+        encoder = IntegerEncoder(userland["context"], base=3)
+        ct = userland["encryptor"].encrypt(encoder.encode(12345))
+        with pytest.raises(PipelineError):
+            enclave.ecall("divide", ct, 2)

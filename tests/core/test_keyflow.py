@@ -1,0 +1,177 @@
+"""Key distribution: TTP baseline weaknesses vs the attested SGX flow."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    InferenceEnclave,
+    SgxKeyDistribution,
+    TrustedThirdParty,
+    UserClient,
+    establish_user_keys,
+)
+from repro.errors import AttestationError
+from repro.he import Context, Decryptor, Encryptor, ScalarEncoder
+from repro.sgx import AttestationVerificationService, QuotingService, SgxPlatform
+
+
+@pytest.fixture()
+def platform():
+    return SgxPlatform(platform_secret=b"\x07" * 32)
+
+
+@pytest.fixture()
+def enclave(platform, hybrid_params):
+    handle = platform.load_enclave(InferenceEnclave, hybrid_params, 3)
+    handle.ecall("generate_keys")
+    return handle
+
+
+@pytest.fixture()
+def quoting(platform):
+    return QuotingService(platform, platform_id="edge-1")
+
+
+@pytest.fixture()
+def verifier(quoting):
+    service = AttestationVerificationService()
+    service.register_platform(quoting)
+    return service
+
+
+class TestTrustedThirdParty:
+    def test_issues_working_keys(self, hybrid_params):
+        ttp = TrustedThirdParty(hybrid_params, seed=0)
+        keys = ttp.issue_keys("alice")
+        encoder = ScalarEncoder(ttp.context)
+        ct = Encryptor(ttp.context, keys.public, np.random.default_rng(0)).encrypt(
+            encoder.encode(5)
+        )
+        assert encoder.decode(Decryptor(ttp.context, keys.secret).decrypt(ct)) == 5
+
+    def test_ttp_knows_every_secret(self, hybrid_params):
+        """The structural weakness the paper removes (Section III-A)."""
+        ttp = TrustedThirdParty(hybrid_params, seed=0)
+        ttp.issue_keys("alice")
+        assert ttp.knows_secret_of("alice")
+
+    def test_channel_is_wiretappable(self, hybrid_params):
+        ttp = TrustedThirdParty(hybrid_params, seed=0)
+        keys = ttp.issue_keys("alice")
+        # The eavesdropper's copy contains the same secret key object.
+        _, leaked_pair = ttp.wiretap_log[0]
+        assert leaked_pair.secret is keys.secret
+
+    def test_relin_keys_need_extra_round(self, hybrid_params):
+        ttp = TrustedThirdParty(hybrid_params, seed=0)
+        ttp.issue_keys("alice")
+        rounds_before = ttp.communication_rounds
+        ttp.issue_relin_keys("alice")
+        assert ttp.communication_rounds == rounds_before + 1
+
+    def test_relin_keys_unknown_user_rejected(self, hybrid_params):
+        ttp = TrustedThirdParty(hybrid_params, seed=0)
+        with pytest.raises(AttestationError):
+            ttp.issue_relin_keys("mallory")
+
+
+class TestAttestedFlow:
+    def test_end_to_end_delivery(self, platform, enclave, quoting, verifier, hybrid_params):
+        keys = establish_user_keys(
+            platform, enclave, quoting, verifier, hybrid_params, b"\x09" * 32
+        )
+        context = Context(hybrid_params)
+        encoder = ScalarEncoder(context)
+        ct = Encryptor(context, keys.public, np.random.default_rng(1)).encrypt(
+            encoder.encode(-321)
+        )
+        assert encoder.decode(Decryptor(context, keys.secret).decrypt(ct)) == -321
+
+    def test_delivered_keys_match_enclave_keys(
+        self, platform, enclave, quoting, verifier, hybrid_params
+    ):
+        """The user's keys are the same pair the enclave serves inference
+        with -- ciphertexts produced by the enclave must decrypt user-side."""
+        keys = establish_user_keys(
+            platform, enclave, quoting, verifier, hybrid_params, b"\x0a" * 32
+        )
+        server_public = enclave.ecall("get_public_key")
+        assert np.array_equal(keys.public.p0_ntt, server_public.p0_ntt)
+
+    def test_wrong_measurement_rejected(self, platform, enclave, quoting, verifier, hybrid_params):
+        user = UserClient(
+            params=hybrid_params,
+            verifier=verifier,
+            expected_mrenclave="0" * 64,  # expecting different trusted code
+            entropy=b"\x0b" * 32,
+        )
+        service = SgxKeyDistribution(platform=platform, enclave=enclave, quoting=quoting)
+        quote, sealed = service.serve_exchange(user.begin_exchange())
+        with pytest.raises(AttestationError):
+            user.complete_exchange(quote, sealed)
+
+    def test_swapped_payload_rejected(self, platform, enclave, quoting, verifier, hybrid_params):
+        """A malicious host cannot substitute its own key payload: the
+        attested digest pins the exact bytes."""
+        user = UserClient(
+            params=hybrid_params,
+            verifier=verifier,
+            expected_mrenclave=enclave.measurement.mrenclave,
+            entropy=b"\x0c" * 32,
+        )
+        service = SgxKeyDistribution(platform=platform, enclave=enclave, quoting=quoting)
+        quote, sealed = service.serve_exchange(user.begin_exchange())
+        forged = dataclasses.replace(sealed, ciphertext=bytes(len(sealed.ciphertext)))
+        with pytest.raises(AttestationError):
+            user.complete_exchange(quote, forged)
+
+    def test_unregistered_platform_rejected(self, platform, enclave, quoting, hybrid_params):
+        lone_verifier = AttestationVerificationService()  # never provisioned
+        user = UserClient(
+            params=hybrid_params,
+            verifier=lone_verifier,
+            expected_mrenclave=enclave.measurement.mrenclave,
+            entropy=b"\x0d" * 32,
+        )
+        service = SgxKeyDistribution(platform=platform, enclave=enclave, quoting=quoting)
+        quote, sealed = service.serve_exchange(user.begin_exchange())
+        with pytest.raises(AttestationError):
+            user.complete_exchange(quote, sealed)
+
+    def test_no_plaintext_secret_on_the_wire(self, platform, enclave, quoting, verifier, hybrid_params):
+        """Unlike the TTP flow, everything the host ever sees is either
+        public (quote, public DH shares) or encrypted (sealed payload)."""
+        from repro.he.serialize import serialize_secret_key
+
+        user = UserClient(
+            params=hybrid_params,
+            verifier=verifier,
+            expected_mrenclave=enclave.measurement.mrenclave,
+            entropy=b"\x0e" * 32,
+        )
+        service = SgxKeyDistribution(platform=platform, enclave=enclave, quoting=quoting)
+        quote, sealed = service.serve_exchange(user.begin_exchange())
+        keys = user.complete_exchange(quote, sealed)
+        secret_bytes = serialize_secret_key(keys.secret)
+        wire = sealed.ciphertext + quote.user_data + quote.signature
+        # The serialized secret key must not appear in any on-the-wire blob.
+        assert secret_bytes[16:48] not in wire
+
+    def test_no_ecall_returns_the_secret_key(self, enclave):
+        """API-surface audit: no trusted entry point leaks SecretKey."""
+        from repro.sgx.ecall import is_ecall
+
+        service = type(enclave._instance)
+        audited = 0
+        for name in dir(service):
+            method = getattr(service, name)
+            if not is_ecall(method) or name == "key_exchange":
+                continue
+            annotation = str(method.__annotations__.get("return"))
+            assert "SecretKey" not in annotation, f"{name} leaks the secret key"
+            audited += 1
+        assert audited >= 8  # the audit actually covered the trusted API

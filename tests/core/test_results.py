@@ -1,0 +1,59 @@
+"""Result/timing record types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InferenceResult, StageTiming
+
+
+@pytest.fixture()
+def result():
+    return InferenceResult(
+        logits=np.array([[1, 5, 2], [9, 0, 3]]),
+        stages=[
+            StageTiming("encrypt", real_s=1.0),
+            StageTiming("sgx", real_s=2.0, overhead_s=0.5),
+        ],
+        scheme="TestScheme",
+        noise_budget_bits=12.5,
+        op_counts={"ct_add": 7},
+        enclave_crossings=3,
+    )
+
+
+class TestStageTiming:
+    def test_elapsed_is_sum(self):
+        stage = StageTiming("x", real_s=1.5, overhead_s=0.25)
+        assert stage.elapsed_s == pytest.approx(1.75)
+
+    def test_default_overhead_zero(self):
+        assert StageTiming("x", real_s=1.0).overhead_s == 0.0
+
+
+class TestInferenceResult:
+    def test_predictions_argmax(self, result):
+        assert result.predictions.tolist() == [1, 0]
+
+    def test_totals(self, result):
+        assert result.total_real_s == pytest.approx(3.0)
+        assert result.total_overhead_s == pytest.approx(0.5)
+        assert result.total_elapsed_s == pytest.approx(3.5)
+
+    def test_stage_lookup(self, result):
+        assert result.stage("sgx").overhead_s == 0.5
+
+    def test_stage_missing(self, result):
+        with pytest.raises(KeyError):
+            result.stage("nonexistent")
+
+    def test_describe_mentions_everything(self, result):
+        text = result.describe()
+        assert "TestScheme" in text
+        assert "encrypt" in text and "sgx" in text
+        assert "12.5 bits" in text
+
+    def test_describe_without_budget(self):
+        result = InferenceResult(logits=np.zeros((1, 2)), scheme="S")
+        assert "bits" not in result.describe()

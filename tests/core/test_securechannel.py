@@ -1,0 +1,81 @@
+"""Secure-channel primitives: DH handshake, AE layer, user_data binding."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import securechannel as sc
+from repro.errors import AttestationError
+
+
+class TestDiffieHellman:
+    def test_shared_secret_agrees(self):
+        a = sc.DhKeyPair.generate(b"a" * 32)
+        b = sc.DhKeyPair.generate(b"b" * 32)
+        assert a.shared_secret(b.public) == b.shared_secret(a.public)
+
+    def test_different_peers_different_secrets(self):
+        a = sc.DhKeyPair.generate(b"a" * 32)
+        b = sc.DhKeyPair.generate(b"b" * 32)
+        c = sc.DhKeyPair.generate(b"c" * 32)
+        assert a.shared_secret(b.public) != a.shared_secret(c.public)
+
+    def test_entropy_too_short_rejected(self):
+        with pytest.raises(AttestationError):
+            sc.DhKeyPair.generate(b"short")
+
+    def test_degenerate_peer_share_rejected(self):
+        a = sc.DhKeyPair.generate(b"a" * 32)
+        for bad in (0, 1, sc.RFC3526_PRIME - 1, sc.RFC3526_PRIME):
+            with pytest.raises(AttestationError):
+                a.shared_secret(bad)
+
+    def test_public_share_in_group(self):
+        a = sc.DhKeyPair.generate(b"x" * 40)
+        assert 2 <= a.public <= sc.RFC3526_PRIME - 2
+
+
+class TestAuthenticatedEncryption:
+    def test_roundtrip(self):
+        key = b"k" * 32
+        msg = sc.encrypt_message(key, b"homomorphic keys", b"n" * 16)
+        assert sc.decrypt_message(key, msg) == b"homomorphic keys"
+
+    def test_ciphertext_hides_plaintext(self):
+        msg = sc.encrypt_message(b"k" * 32, b"secret key material", b"n" * 16)
+        assert b"secret" not in msg.ciphertext
+
+    def test_wrong_key_rejected(self):
+        msg = sc.encrypt_message(b"k" * 32, b"payload", b"n" * 16)
+        with pytest.raises(AttestationError):
+            sc.decrypt_message(b"w" * 32, msg)
+
+    def test_tampering_rejected(self):
+        msg = sc.encrypt_message(b"k" * 32, b"payload", b"n" * 16)
+        flipped = bytes([msg.ciphertext[0] ^ 1]) + msg.ciphertext[1:]
+        with pytest.raises(AttestationError):
+            sc.decrypt_message(b"k" * 32, dataclasses.replace(msg, ciphertext=flipped))
+
+    def test_bad_nonce_length_rejected(self):
+        with pytest.raises(AttestationError):
+            sc.encrypt_message(b"k" * 32, b"x", b"short")
+
+    def test_large_payload(self):
+        payload = bytes(range(256)) * 4096  # ~1 MiB of key material
+        msg = sc.encrypt_message(b"k" * 32, payload, b"n" * 16)
+        assert sc.decrypt_message(b"k" * 32, msg) == payload
+
+
+class TestUserDataBinding:
+    def test_roundtrip(self):
+        dh = sc.DhKeyPair.generate(b"e" * 32)
+        digest = sc.payload_digest(b"payload-bytes")
+        share, recovered = sc.split_user_data(sc.bind_user_data(dh.public, digest))
+        assert share == dh.public
+        assert recovered == digest
+
+    def test_short_user_data_rejected(self):
+        with pytest.raises(AttestationError):
+            sc.split_user_data(b"too short")

@@ -1,0 +1,118 @@
+"""SIMD-packed hybrid pipeline: slot packing, exactness, throughput shape."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HybridPipeline,
+    PlaintextPipeline,
+    SimdHybridPipeline,
+    SlotCodec,
+    parameters_for_pipeline,
+)
+from repro.errors import PipelineError
+from repro.he import Context
+
+
+@pytest.fixture(scope="module")
+def simd_params(q_sigmoid):
+    return parameters_for_pipeline(q_sigmoid, 256, batching=True)
+
+
+@pytest.fixture(scope="module")
+def simd_pipeline(q_sigmoid, simd_params):
+    return SimdHybridPipeline(q_sigmoid, simd_params, seed=5)
+
+
+class TestSlotCodec:
+    def test_roundtrip(self, simd_params, rng):
+        codec = SlotCodec(Context(simd_params))
+        values = rng.integers(-100, 100, size=(5, 2, 4, 4))
+        plain = codec.encode(values)
+        assert plain.batch_shape == (1, 2, 4, 4)
+        assert np.array_equal(codec.decode(plain, 5), values)
+
+    def test_rejects_oversized_batch(self, simd_params, rng):
+        codec = SlotCodec(Context(simd_params))
+        too_many = codec.slot_count + 1
+        with pytest.raises(PipelineError):
+            codec.encode(np.zeros((too_many, 1, 2, 2), dtype=np.int64))
+
+    def test_rejects_wrong_rank(self, simd_params):
+        codec = SlotCodec(Context(simd_params))
+        with pytest.raises(PipelineError):
+            codec.encode(np.zeros((4, 4), dtype=np.int64))
+
+
+class TestSimdHybrid:
+    def test_matches_plaintext_exactly(self, simd_pipeline, q_sigmoid, models):
+        images = models.dataset.test_images[:5]
+        plain = PlaintextPipeline(q_sigmoid).infer(images)
+        result = simd_pipeline.infer(images)
+        assert np.array_equal(result.logits, plain.logits)
+
+    def test_matches_unpacked_hybrid(self, simd_pipeline, q_sigmoid, simd_params, models):
+        images = models.dataset.test_images[:3]
+        unpacked = HybridPipeline(q_sigmoid, simd_params, seed=6).infer(images)
+        packed = simd_pipeline.infer(images)
+        assert np.array_equal(packed.logits, unpacked.logits)
+
+    def test_single_enclave_crossing(self, simd_pipeline, models):
+        result = simd_pipeline.infer(models.dataset.test_images[:4])
+        assert result.enclave_crossings == 1
+
+    def test_ciphertext_count_independent_of_batch(self, simd_pipeline, models):
+        small = simd_pipeline.encrypt_images(models.dataset.test_images[:1])
+        large = simd_pipeline.encrypt_images(models.dataset.test_images[:8])
+        assert small.data.shape == large.data.shape
+
+    def test_per_image_time_collapses(self, simd_pipeline, q_sigmoid, simd_params, models):
+        """The Section VIII claim: batch 8 images for ~the cost of 1."""
+        one = simd_pipeline.infer(models.dataset.test_images[:1])
+        eight = simd_pipeline.infer(models.dataset.test_images[:8])
+        # Same ciphertext work modulo noise: allow 2x slack.
+        assert eight.total_elapsed_s < 2 * one.total_elapsed_s
+
+    def test_positive_noise_budget(self, simd_pipeline, models):
+        result = simd_pipeline.infer(models.dataset.test_images[:2])
+        assert result.noise_budget_bits > 0
+
+    def test_rejects_non_batching_modulus(self, q_sigmoid, hybrid_params):
+        with pytest.raises(PipelineError):
+            SimdHybridPipeline(q_sigmoid, hybrid_params)
+
+    def test_rejects_square_model(self, q_square, simd_params):
+        with pytest.raises(PipelineError):
+            SimdHybridPipeline(q_square, simd_params)
+
+    def test_tanh_max_variant(self, models, test_images):
+        from repro.nn import QuantizedCNN, scaled_cnn, train
+
+        model = scaled_cnn(image_size=10, channels=2, kernel_size=3,
+                           activation="tanh", pool="max",
+                           rng=np.random.default_rng(12))
+        data = models.dataset
+        train(model, data.train_float(), data.train_labels, epochs=1,
+              learning_rate=0.05, seed=12)
+        quantized = QuantizedCNN.from_float(model)
+        params = parameters_for_pipeline(quantized, 256, batching=True)
+        pipeline = SimdHybridPipeline(quantized, params, seed=12)
+        plain = PlaintextPipeline(quantized).infer(test_images)
+        assert np.array_equal(pipeline.infer(test_images).logits, plain.logits)
+
+
+class TestBatchingParameterOption:
+    def test_prime_and_congruent(self, q_sigmoid):
+        params = parameters_for_pipeline(q_sigmoid, 256, batching=True)
+        assert params.supports_batching()
+        assert params.plain_modulus >= q_sigmoid.required_plain_modulus()
+
+    def test_oversized_bound_rejected(self, q_square):
+        from repro.errors import ParameterError
+
+        if q_square.required_plain_modulus() < 1 << 30:
+            pytest.skip("square model unexpectedly small")
+        with pytest.raises(ParameterError):
+            parameters_for_pipeline(q_square, 256, batching=True)

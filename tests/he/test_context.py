@@ -1,0 +1,78 @@
+"""Context and value-type behaviours not covered by the crypto tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import KeyMismatchError, ParameterError
+from repro.he import Ciphertext, Context, Plaintext, small_parameter_options
+
+
+class TestContext:
+    def test_properties_mirror_params(self, context, params):
+        assert context.poly_degree == params.poly_degree
+        assert context.plain_modulus == params.plain_modulus
+        assert context.coeff_modulus == params.coeff_modulus
+
+    def test_check_same_accepts_self(self, context):
+        context.check_same(context)
+
+    def test_check_same_accepts_equal_params(self, context, params):
+        context.check_same(Context(params))
+
+    def test_check_same_rejects_different(self, context):
+        other = Context(small_parameter_options()[512])
+        with pytest.raises(KeyMismatchError):
+            context.check_same(other)
+
+
+class TestPlaintextType:
+    def test_rejects_wrong_degree(self, context):
+        with pytest.raises(ParameterError):
+            Plaintext(context, np.zeros(context.poly_degree // 2, dtype=np.int64))
+
+    def test_batch_shape(self, context):
+        plain = Plaintext(context, np.zeros((3, 4, context.poly_degree), dtype=np.int64))
+        assert plain.batch_shape == (3, 4)
+
+    def test_signed_coeffs_centered_range(self, context, rng):
+        coeffs = rng.integers(0, context.plain_modulus, size=context.poly_degree)
+        signed = Plaintext(context, coeffs).signed_coeffs()
+        t = context.plain_modulus
+        assert signed.min() >= -(t // 2)
+        assert signed.max() <= t // 2
+
+
+class TestCiphertextType:
+    def test_rejects_low_rank(self, context):
+        with pytest.raises(ParameterError):
+            Ciphertext(context, np.zeros((2, context.poly_degree), dtype=np.int64))
+
+    def test_rejects_wrong_ring_shape(self, context):
+        with pytest.raises(ParameterError):
+            Ciphertext(
+                context,
+                np.zeros((2, context.ring.k + 1, context.poly_degree), dtype=np.int64),
+            )
+
+    def test_size_and_batch(self, encryptor, encoder, rng):
+        ct = encryptor.encrypt(encoder.encode(rng.integers(0, 9, size=(2, 3))))
+        assert ct.size == 2
+        assert ct.batch_shape == (2, 3)
+        assert ct.batch_count == 6
+
+    def test_scalar_index_rejected(self, encryptor, encoder):
+        ct = encryptor.encrypt(encoder.encode(7))
+        with pytest.raises(IndexError):
+            ct[0]
+
+    def test_to_ntt_idempotent(self, encryptor, encoder):
+        ct = encryptor.encrypt(encoder.encode(7))
+        assert ct.to_ntt() is ct  # already NTT-resident
+
+    def test_to_coeff_roundtrip_values(self, encryptor, encoder, decryptor):
+        ct = encryptor.encrypt(encoder.encode(19))
+        coeff = ct.to_coeff()
+        assert coeff.to_coeff() is coeff
+        assert encoder.decode(decryptor.decrypt(coeff)) == 19

@@ -1,0 +1,163 @@
+"""Encryption/decryption round-trips, noise budgets, and key handling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KeyMismatchError, NoiseBudgetExhausted, ParameterError
+from repro.he import (
+    Context,
+    Decryptor,
+    Encryptor,
+    KeyGenerator,
+    Plaintext,
+    ScalarEncoder,
+    small_parameter_options,
+)
+
+
+class TestRoundTrip:
+    def test_scalar(self, encoder, encryptor, decryptor):
+        ct = encryptor.encrypt(encoder.encode(1234))
+        assert encoder.decode(decryptor.decrypt(ct)) == 1234
+
+    def test_negative(self, encoder, encryptor, decryptor):
+        ct = encryptor.encrypt(encoder.encode(-999))
+        assert encoder.decode(decryptor.decrypt(ct)) == -999
+
+    def test_zero(self, encoder, encryptor, decryptor):
+        ct = encryptor.encrypt(encoder.encode(0))
+        assert encoder.decode(decryptor.decrypt(ct)) == 0
+
+    def test_batched_matrix(self, encoder, encryptor, decryptor, rng):
+        values = rng.integers(-1000, 1000, size=(4, 6))
+        ct = encryptor.encrypt(encoder.encode(values))
+        assert np.array_equal(encoder.decode(decryptor.decrypt(ct)), values)
+
+    def test_encrypt_zero_helper(self, encryptor, decryptor, encoder):
+        ct = encryptor.encrypt_zero(3)
+        assert np.array_equal(encoder.decode(decryptor.decrypt(ct)), np.zeros(3))
+
+    def test_full_polynomial_plaintext(self, context, encryptor, decryptor, rng):
+        coeffs = rng.integers(0, context.plain_modulus, size=context.poly_degree)
+        plain = Plaintext(context, coeffs)
+        ct = encryptor.encrypt(plain)
+        assert np.array_equal(decryptor.decrypt(ct).coeffs, plain.coeffs)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=-32768, max_value=32768))
+    def test_roundtrip_property(self, value):
+        params = small_parameter_options()[256]
+        context = Context(params)
+        rng = np.random.default_rng(abs(value) + 1)
+        keys = KeyGenerator(context, rng).generate()
+        encoder = ScalarEncoder(context)
+        ct = Encryptor(context, keys.public, rng).encrypt(encoder.encode(value))
+        assert encoder.decode(Decryptor(context, keys.secret).decrypt(ct)) == value
+
+
+class TestSymmetric:
+    def test_roundtrip(self, sym_encryptor, decryptor, encoder):
+        ct = sym_encryptor.encrypt(encoder.encode(77))
+        assert encoder.decode(decryptor.decrypt(ct)) == 77
+
+    def test_less_noise_than_public(self, encryptor, sym_encryptor, decryptor, encoder):
+        plain = encoder.encode(42)
+        pk_budget = decryptor.invariant_noise_budget(encryptor.encrypt(plain))
+        sk_budget = decryptor.invariant_noise_budget(sym_encryptor.encrypt(plain))
+        assert sk_budget >= pk_budget
+
+    def test_randomized(self, sym_encryptor, encoder):
+        a = sym_encryptor.encrypt(encoder.encode(1))
+        b = sym_encryptor.encrypt(encoder.encode(1))
+        assert not np.array_equal(a.data, b.data)
+
+
+class TestNoiseBudget:
+    def test_fresh_budget_positive(self, encryptor, decryptor, encoder):
+        ct = encryptor.encrypt(encoder.encode(5))
+        assert decryptor.invariant_noise_budget(ct) > 10
+
+    def test_budget_of_garbage_is_zero(self, context, decryptor, encryptor, encoder, rng):
+        ct = encryptor.encrypt(encoder.encode(5))
+        # Stomp the ciphertext body with uniform junk: noise budget collapses.
+        ct.data[..., 0, :, :] = context.ring.sample_uniform(rng)
+        # A uniform body leaves at most a sliver of budget (max residue is
+        # within a hair of q/2 almost surely).
+        assert decryptor.invariant_noise_budget(ct) < 1.0
+
+    def test_check_noise_raises_on_garbage(self, context, decryptor, encryptor, encoder):
+        ct = encryptor.encrypt(encoder.encode(5))
+        # Stomp the body with uniform junk: residues become uniform, so the
+        # measured budget collapses below the statistical threshold.
+        rng = np.random.default_rng(99)
+        ct.data[..., 0, :, :] = context.ring.sample_uniform(rng)
+        with pytest.raises(NoiseBudgetExhausted):
+            decryptor.decrypt(ct, check_noise=True)
+
+    def test_decrypt_without_check_succeeds_on_fresh(self, encryptor, decryptor, encoder):
+        ct = encryptor.encrypt(encoder.encode(5))
+        decryptor.decrypt(ct, check_noise=True)  # must not raise
+
+
+class TestRandomization:
+    def test_same_plaintext_different_ciphertexts(self, encryptor, encoder):
+        a = encryptor.encrypt(encoder.encode(1))
+        b = encryptor.encrypt(encoder.encode(1))
+        assert not np.array_equal(a.data, b.data)
+
+    def test_batch_elements_independently_randomized(self, encryptor, encoder):
+        ct = encryptor.encrypt(encoder.encode(np.array([1, 1])))
+        assert not np.array_equal(ct.data[0], ct.data[1])
+
+
+class TestKeyAndContextSafety:
+    def test_wrong_secret_key_garbles(self, context, encryptor, encoder, rng):
+        other = KeyGenerator(context, rng).generate()
+        wrong = Decryptor(context, other.secret)
+        ct = encryptor.encrypt(encoder.encode(1234))
+        assert wrong.invariant_noise_budget(ct) < 1.0
+
+    def test_cross_context_rejected(self, encryptor, encoder):
+        other_params = small_parameter_options()[512]
+        other = Context(other_params)
+        keys = KeyGenerator(other, np.random.default_rng(0)).generate()
+        with pytest.raises(KeyMismatchError):
+            Decryptor(other, keys.secret).decrypt(
+                encryptor.encrypt(encoder.encode(1))
+            )
+
+    def test_ciphertext_shape_validation(self, context):
+        from repro.he import Ciphertext
+
+        with pytest.raises(ParameterError):
+            Ciphertext(context, np.zeros((2, 3, 7), dtype=np.int64))
+
+
+class TestDomainsAndViews:
+    def test_ntt_coeff_roundtrip(self, encryptor, decryptor, encoder):
+        ct = encryptor.encrypt(encoder.encode(31))
+        back = ct.to_coeff().to_ntt()
+        assert encoder.decode(decryptor.decrypt(back)) == 31
+
+    def test_reshape_and_index(self, encryptor, decryptor, encoder, rng):
+        values = rng.integers(-50, 50, size=12)
+        ct = encryptor.encrypt(encoder.encode(values)).reshape(3, 4)
+        assert ct.batch_shape == (3, 4)
+        row = ct[1]
+        assert np.array_equal(
+            encoder.decode(decryptor.decrypt(row)), values.reshape(3, 4)[1]
+        )
+
+    def test_copy_is_deep(self, encryptor, encoder):
+        ct = encryptor.encrypt(encoder.encode(9))
+        dup = ct.copy()
+        dup.data[...] = 0
+        assert ct.data.any()
+
+    def test_byte_size_positive(self, encryptor, encoder):
+        ct = encryptor.encrypt(encoder.encode(9))
+        assert ct.byte_size() == ct.data.nbytes > 0

@@ -1,0 +1,65 @@
+"""Serialization round-trips for key material and ciphertexts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.he import serialize as ser
+
+
+class TestKeyRoundTrips:
+    def test_secret_key(self, context, keypair, decryptor, encryptor, encoder):
+        blob = ser.serialize_secret_key(keypair.secret)
+        restored = ser.deserialize_secret_key(blob, context)
+        assert np.array_equal(restored.s_ntt, keypair.secret.s_ntt)
+        # A decryptor built from the restored key actually works.
+        from repro.he import Decryptor
+
+        ct = encryptor.encrypt(encoder.encode(77))
+        assert encoder.decode(Decryptor(context, restored).decrypt(ct)) == 77
+
+    def test_public_key(self, context, keypair, encoder, decryptor):
+        blob = ser.serialize_public_key(keypair.public)
+        restored = ser.deserialize_public_key(blob, context)
+        from repro.he import Encryptor
+
+        ct = Encryptor(context, restored, np.random.default_rng(5)).encrypt(
+            encoder.encode(-12)
+        )
+        assert encoder.decode(decryptor.decrypt(ct)) == -12
+
+    def test_relin_keys(self, context, relin_keys, encryptor, decryptor, encoder, evaluator):
+        blob = ser.serialize_relin_keys(relin_keys)
+        restored = ser.deserialize_relin_keys(blob, context)
+        assert restored.decomposition_bits == relin_keys.decomposition_bits
+        ct = evaluator.square(encryptor.encrypt(encoder.encode(9)))
+        relined = evaluator.relinearize(ct, restored)
+        assert encoder.decode(decryptor.decrypt(relined)) == 81
+
+
+class TestCiphertextRoundTrip:
+    def test_scalar(self, context, encryptor, decryptor, encoder):
+        ct = encryptor.encrypt(encoder.encode(31))
+        restored = ser.deserialize_ciphertext(ser.serialize_ciphertext(ct), context)
+        assert restored.is_ntt == ct.is_ntt
+        assert encoder.decode(decryptor.decrypt(restored)) == 31
+
+    def test_batched_coeff_domain(self, context, encryptor, decryptor, encoder, rng):
+        values = rng.integers(-9, 9, size=(2, 3))
+        ct = encryptor.encrypt(encoder.encode(values)).to_coeff()
+        restored = ser.deserialize_ciphertext(ser.serialize_ciphertext(ct), context)
+        assert not restored.is_ntt
+        assert np.array_equal(encoder.decode(decryptor.decrypt(restored)), values)
+
+
+class TestFormatSafety:
+    def test_bad_magic_rejected(self, context):
+        with pytest.raises(ParameterError):
+            ser.deserialize_secret_key(b"XXXX" + bytes(64), context)
+
+    def test_kind_mismatch_rejected(self, context, keypair):
+        blob = ser.serialize_secret_key(keypair.secret)
+        with pytest.raises(ParameterError):
+            ser.deserialize_public_key(blob, context)

@@ -1,0 +1,240 @@
+"""Layer-level tests: shapes, values, and numerical gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn import (
+    Conv2D,
+    Dense,
+    Flatten,
+    LeakyReLU,
+    MaxPool2D,
+    MeanPool2D,
+    ReLU,
+    ScaledMeanPool2D,
+    Sigmoid,
+    Square,
+    Tanh,
+    conv2d_forward,
+)
+
+
+def numerical_gradient(layer, x, eps=1e-6):
+    """Central-difference gradient of sum(layer(x)) w.r.t. x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        plus = layer.forward(x).sum()
+        x[idx] = orig - eps
+        minus = layer.forward(x).sum()
+        x[idx] = orig
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestConv2D:
+    def test_output_shape(self):
+        conv = Conv2D(1, 6, kernel_size=5, rng=np.random.default_rng(0))
+        x = np.zeros((2, 1, 28, 28))
+        assert conv.forward(x).shape == (2, 6, 24, 24)
+        assert conv.output_shape((1, 28, 28)) == (6, 24, 24)
+
+    def test_stride(self):
+        conv = Conv2D(1, 2, kernel_size=3, stride=2, rng=np.random.default_rng(0))
+        assert conv.forward(np.zeros((1, 1, 9, 9))).shape == (1, 2, 4, 4)
+
+    def test_known_values(self):
+        conv = Conv2D(1, 1, kernel_size=2, rng=np.random.default_rng(0))
+        conv.weight[...] = 1.0
+        conv.bias[...] = 0.5
+        x = np.arange(9, dtype=np.float64).reshape(1, 1, 3, 3)
+        out = conv.forward(x)
+        assert out[0, 0, 0, 0] == pytest.approx(0 + 1 + 3 + 4 + 0.5)
+        assert out[0, 0, 1, 1] == pytest.approx(4 + 5 + 7 + 8 + 0.5)
+
+    def test_rejects_channel_mismatch(self):
+        conv = Conv2D(3, 1, kernel_size=2, rng=np.random.default_rng(0))
+        with pytest.raises(ModelError):
+            conv.output_shape((1, 5, 5))
+
+    def test_rejects_kernel_larger_than_input(self):
+        conv = Conv2D(1, 1, kernel_size=7, rng=np.random.default_rng(0))
+        with pytest.raises(ModelError):
+            conv.output_shape((1, 5, 5))
+
+    def test_rejects_bad_hyperparams(self):
+        with pytest.raises(ModelError):
+            Conv2D(1, 1, kernel_size=0)
+
+    def test_input_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        conv = Conv2D(2, 3, kernel_size=3, rng=rng)
+        x = rng.normal(size=(2, 2, 6, 6))
+        out = conv.forward(x)
+        analytic = conv.backward(np.ones_like(out))
+        numeric = numerical_gradient(conv, x)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_weight_gradient_matches_numerical(self):
+        rng = np.random.default_rng(2)
+        conv = Conv2D(1, 2, kernel_size=2, rng=rng)
+        x = rng.normal(size=(3, 1, 4, 4))
+        out = conv.forward(x)
+        conv.backward(np.ones_like(out))
+        analytic = conv.grad_weight.copy()
+        eps = 1e-6
+        numeric = np.zeros_like(conv.weight)
+        it = np.nditer(conv.weight, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            orig = conv.weight[idx]
+            conv.weight[idx] = orig + eps
+            plus = conv.forward(x).sum()
+            conv.weight[idx] = orig - eps
+            minus = conv.forward(x).sum()
+            conv.weight[idx] = orig
+            numeric[idx] = (plus - minus) / (2 * eps)
+            it.iternext()
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_backward_before_forward_rejected(self):
+        conv = Conv2D(1, 1, kernel_size=2, rng=np.random.default_rng(0))
+        with pytest.raises(ModelError):
+            conv.backward(np.zeros((1, 1, 2, 2)))
+
+    def test_functional_matches_layer(self):
+        rng = np.random.default_rng(3)
+        conv = Conv2D(2, 3, kernel_size=3, rng=rng)
+        x = rng.normal(size=(1, 2, 7, 7))
+        assert np.allclose(
+            conv.forward(x), conv2d_forward(x, conv.weight, conv.bias, conv.stride)
+        )
+
+
+class TestDense:
+    def test_known_values(self):
+        dense = Dense(3, 2, rng=np.random.default_rng(0))
+        dense.weight[...] = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        dense.bias[...] = np.array([0.5, -0.5])
+        out = dense.forward(np.array([[1.0, 2.0, 3.0]]))
+        assert np.allclose(out, [[4.5, 4.5]])
+
+    def test_accepts_unflattened_input(self):
+        dense = Dense(12, 4, rng=np.random.default_rng(0))
+        out = dense.forward(np.zeros((2, 3, 2, 2)))
+        assert out.shape == (2, 4)
+
+    def test_backward_restores_input_shape(self):
+        dense = Dense(12, 4, rng=np.random.default_rng(0))
+        dense.forward(np.zeros((2, 3, 2, 2)))
+        assert dense.backward(np.zeros((2, 4))).shape == (2, 3, 2, 2)
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(4)
+        dense = Dense(5, 3, rng=rng)
+        x = rng.normal(size=(2, 5))
+        dense.forward(x)
+        analytic = dense.backward(np.ones((2, 3)))
+        numeric = numerical_gradient(dense, x)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_shape_mismatch_rejected(self):
+        dense = Dense(5, 3, rng=np.random.default_rng(0))
+        with pytest.raises(ModelError):
+            dense.output_shape((7,))
+
+
+class TestPools:
+    def test_mean_pool_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = MeanPool2D(2).forward(x)
+        assert np.allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_scaled_mean_is_window_sum(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        mean = MeanPool2D(2).forward(x)
+        scaled = ScaledMeanPool2D(2).forward(x)
+        assert np.allclose(scaled, mean * 4)
+
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = MaxPool2D(2).forward(x)
+        assert np.allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_indivisible_input_rejected(self):
+        with pytest.raises(ModelError):
+            MeanPool2D(3).forward(np.zeros((1, 1, 4, 4)))
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ModelError):
+            MeanPool2D(0)
+
+    @pytest.mark.parametrize("pool_cls", [MeanPool2D, ScaledMeanPool2D, MaxPool2D])
+    def test_gradient_matches_numerical(self, pool_cls):
+        rng = np.random.default_rng(5)
+        pool = pool_cls(2)
+        x = rng.normal(size=(2, 2, 4, 4))
+        pool.forward(x)
+        analytic = pool.backward(np.ones((2, 2, 2, 2)))
+        numeric = numerical_gradient(pool, x)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_output_shape(self):
+        assert MeanPool2D(2).output_shape((6, 24, 24)) == (6, 12, 12)
+        with pytest.raises(ModelError):
+            MeanPool2D(5).output_shape((6, 24, 24))
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "layer,reference",
+        [
+            (Sigmoid(), lambda x: 1 / (1 + np.exp(-x))),
+            (ReLU(), lambda x: np.maximum(0, x)),
+            (Tanh(), np.tanh),
+            (Square(), lambda x: x * x),
+            (LeakyReLU(0.1), lambda x: np.where(x > 0, x, 0.1 * x)),
+        ],
+    )
+    def test_forward_values(self, layer, reference):
+        x = np.linspace(-3, 3, 13)
+        assert np.allclose(layer.forward(x), reference(x))
+
+    @pytest.mark.parametrize(
+        "layer", [Sigmoid(), ReLU(), Tanh(), Square(), LeakyReLU(0.1)]
+    )
+    def test_gradient_matches_numerical(self, layer):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(3, 4)) + 0.01  # avoid the ReLU kink at exactly 0
+        layer.forward(x)
+        analytic = layer.backward(np.ones((3, 4)))
+        numeric = numerical_gradient(layer, x)
+        assert np.allclose(analytic, numeric, atol=1e-4)
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = Sigmoid.apply(np.array([-800.0, 800.0]))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+        assert np.isfinite(out).all()
+
+    def test_sigmoid_midpoint(self):
+        assert Sigmoid.apply(np.array([0.0]))[0] == pytest.approx(0.5)
+
+
+class TestFlatten:
+    def test_roundtrip(self):
+        layer = Flatten()
+        x = np.arange(24, dtype=np.float64).reshape(2, 3, 2, 2)
+        flat = layer.forward(x)
+        assert flat.shape == (2, 12)
+        assert layer.backward(flat).shape == x.shape
+
+    def test_output_shape(self):
+        assert Flatten().output_shape((3, 2, 2)) == (12,)

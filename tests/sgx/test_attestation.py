@@ -1,0 +1,176 @@
+"""Remote attestation: the report -> quote -> verification chain."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import AttestationError
+from repro.sgx import (
+    AttestationVerificationService,
+    Enclave,
+    QuotingService,
+    Report,
+    SgxPlatform,
+    ecall,
+)
+
+
+class KeyVendor(Enclave):
+    @ecall
+    def ping(self) -> str:
+        return "pong"
+
+    @ecall
+    def prepare_report(self, user_data: bytes) -> bytes:
+        """Trusted code approving data for attestation."""
+        self.attest(user_data)
+        return user_data
+
+
+def attested_report(handle, user_data: bytes):
+    handle.ecall("prepare_report", user_data)
+    return handle.create_report(user_data)
+
+
+@pytest.fixture()
+def platform():
+    return SgxPlatform(platform_secret=b"\x04" * 32)
+
+
+@pytest.fixture()
+def quoting(platform):
+    return QuotingService(platform, platform_id="edge-server-1")
+
+
+@pytest.fixture()
+def verifier(quoting):
+    service = AttestationVerificationService()
+    service.register_platform(quoting)
+    return service
+
+
+@pytest.fixture()
+def handle(platform):
+    return platform.load_enclave(KeyVendor)
+
+
+class TestReports:
+    def test_report_carries_user_data(self, handle):
+        report = attested_report(handle, b"he-public-key-bytes")
+        assert report.user_data == b"he-public-key-bytes"
+        assert report.measurement == handle.measurement
+
+    def test_report_mac_verifies_on_platform(self, handle, platform):
+        report = attested_report(handle, b"data")
+        assert report.verify_mac(platform.report_key)
+
+    def test_report_mac_fails_elsewhere(self, handle):
+        other = SgxPlatform(platform_secret=b"\x05" * 32)
+        report = attested_report(handle, b"data")
+        assert not report.verify_mac(other.report_key)
+
+    def test_forged_report_rejected_by_quoting(self, quoting, handle):
+        forged = Report(measurement=handle.measurement, user_data=b"evil", mac=bytes(32))
+        with pytest.raises(AttestationError):
+            quoting.quote(forged)
+
+    def test_host_cannot_report_unapproved_data(self, handle):
+        """EREPORT is enclave-initiated: the host cannot attest bytes the
+        trusted code never produced."""
+        from repro.errors import EnclaveError
+
+        with pytest.raises(EnclaveError):
+            handle.create_report(b"host-invented-payload")
+
+    def test_approval_is_single_use(self, handle):
+        attested_report(handle, b"once")
+        from repro.errors import EnclaveError
+
+        with pytest.raises(EnclaveError):
+            handle.create_report(b"once")
+
+
+class TestQuotes:
+    def test_end_to_end_verification(self, handle, quoting, verifier):
+        report = attested_report(handle, b"payload")
+        quote = quoting.quote(report)
+        verified = verifier.verify(quote, expected_mrenclave=handle.measurement.mrenclave)
+        assert verified.user_data == b"payload"
+        assert verified.platform_id == "edge-server-1"
+
+    def test_unregistered_platform_rejected(self, handle, quoting):
+        fresh_verifier = AttestationVerificationService()
+        quote = quoting.quote(attested_report(handle, b"x"))
+        with pytest.raises(AttestationError):
+            fresh_verifier.verify(quote)
+
+    def test_tampered_user_data_rejected(self, handle, quoting, verifier):
+        quote = quoting.quote(attested_report(handle, b"honest"))
+        tampered = dataclasses.replace(quote, user_data=b"evil!!")
+        with pytest.raises(AttestationError):
+            verifier.verify(tampered)
+
+    def test_tampered_signature_rejected(self, handle, quoting, verifier):
+        quote = quoting.quote(attested_report(handle, b"x"))
+        tampered = dataclasses.replace(quote, signature=bytes(32))
+        with pytest.raises(AttestationError):
+            verifier.verify(tampered)
+
+    def test_wrong_mrenclave_rejected(self, handle, quoting, verifier):
+        quote = quoting.quote(attested_report(handle, b"x"))
+        with pytest.raises(AttestationError):
+            verifier.verify(quote, expected_mrenclave="0" * 64)
+
+    def test_wrong_mrsigner_rejected(self, handle, quoting, verifier):
+        quote = quoting.quote(attested_report(handle, b"x"))
+        with pytest.raises(AttestationError):
+            verifier.verify(quote, expected_mrsigner="0" * 64)
+
+    def test_backdoored_enclave_caught(self, platform, quoting, verifier, handle):
+        """The defining property: modified trusted code cannot impersonate."""
+
+        class KeyVendorEvil(Enclave):
+            @ecall
+            def ping(self) -> str:
+                return "pong"  # same behaviour, different code identity
+
+            @ecall
+            def prepare_report(self, user_data: bytes) -> bytes:
+                self.attest(user_data)
+                return user_data
+
+        evil = platform.load_enclave(KeyVendorEvil)
+        quote = quoting.quote(attested_report(evil, b"x"))
+        with pytest.raises(AttestationError):
+            verifier.verify(quote, expected_mrenclave=handle.measurement.mrenclave)
+
+    def test_attestation_charges_clock(self, platform, handle, quoting):
+        before = platform.clock.snapshot().get("attestation", 0.0)
+        quoting.quote(attested_report(handle, b"x"))
+        after = platform.clock.snapshot()["attestation"]
+        assert after > before
+
+
+class TestSideChannelLog:
+    def test_ecalls_logged(self, handle):
+        handle.ecall("ping")
+        handle.ecall("ping")
+        assert handle.side_channel.count("ecall") == 2
+
+    def test_report_logged(self, handle):
+        attested_report(handle, b"x")
+        assert handle.side_channel.count("report") == 1
+
+    def test_trace_signature_is_deterministic(self, platform):
+        def run():
+            h = platform.load_enclave(KeyVendor)
+            h.ecall("ping")
+            return h.side_channel.trace_signature()
+
+        assert run() == run()
+
+    def test_bytes_crossed_accounted(self, handle):
+        handle.ecall("ping")
+        assert handle.side_channel.total_bytes_crossed() == len("pong")

@@ -1,0 +1,197 @@
+"""Enclave lifecycle, the ECALL boundary, cost accounting, FakeSGX mode."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EnclaveError, EnclaveNotInitialized
+from repro.sgx import Enclave, SgxCostModel, SgxPlatform, ecall, estimate_bytes
+from repro.sgx.costmodel import PAGE_SIZE
+
+
+class Arithmetic(Enclave):
+    """Tiny trusted service used across these tests."""
+
+    def __init__(self, bias: int = 0) -> None:
+        super().__init__()
+        self.bias = bias
+
+    @ecall
+    def add(self, a: int, b: int) -> int:
+        return a + b + self.bias
+
+    @ecall
+    def sum_array(self, values: np.ndarray) -> float:
+        return float(values.sum())
+
+    @ecall
+    def churn_memory(self, byte_count: int) -> None:
+        self.touch_working_set(byte_count)
+
+    def private_helper(self) -> str:
+        return "not callable from outside"
+
+
+@pytest.fixture()
+def platform():
+    return SgxPlatform(platform_secret=b"\x01" * 32)
+
+
+@pytest.fixture()
+def handle(platform):
+    return platform.load_enclave(Arithmetic)
+
+
+class TestLoading:
+    def test_load_and_call(self, handle):
+        assert handle.ecall("add", 20, 22) == 42
+
+    def test_constructor_args_forwarded(self, platform):
+        biased = platform.load_enclave(Arithmetic, bias=100)
+        assert biased.ecall("add", 1, 1) == 102
+
+    def test_rejects_non_enclave_class(self, platform):
+        class NotAnEnclave:
+            pass
+
+        with pytest.raises(EnclaveError):
+            platform.load_enclave(NotAnEnclave)
+
+    def test_measurement_is_stable(self, platform):
+        a = platform.load_enclave(Arithmetic)
+        b = platform.load_enclave(Arithmetic)
+        assert a.measurement == b.measurement
+
+    def test_different_code_different_measurement(self, platform):
+        class Arithmetic2(Enclave):
+            @ecall
+            def add(self, a, b):
+                return a + b + 1  # backdoored variant
+
+        a = platform.load_enclave(Arithmetic)
+        b = platform.load_enclave(Arithmetic2)
+        assert a.measurement.mrenclave != b.measurement.mrenclave
+
+    def test_signer_key_changes_mrsigner_only(self, platform):
+        a = platform.load_enclave(Arithmetic, signer_key=b"vendor-a")
+        b = platform.load_enclave(Arithmetic, signer_key=b"vendor-b")
+        assert a.measurement.mrenclave == b.measurement.mrenclave
+        assert a.measurement.mrsigner != b.measurement.mrsigner
+
+
+class TestEcallBoundary:
+    def test_only_decorated_methods_callable(self, handle):
+        with pytest.raises(EnclaveError):
+            handle.ecall("private_helper")
+
+    def test_unknown_method_rejected(self, handle):
+        with pytest.raises(EnclaveError):
+            handle.ecall("nonexistent")
+
+    def test_destroyed_handle_rejected(self, handle):
+        handle.destroy()
+        with pytest.raises(EnclaveNotInitialized):
+            handle.ecall("add", 1, 2)
+
+    def test_transition_cost_charged(self, platform, handle):
+        before = platform.clock.snapshot().get("sgx_transition", 0.0)
+        handle.ecall("add", 1, 2)
+        after = platform.clock.snapshot()["sgx_transition"]
+        assert after - before == pytest.approx(platform.cost_model.ecall_overhead_s)
+
+    def test_marshalling_proportional_to_bytes(self, platform, handle):
+        small = np.zeros(10, dtype=np.int64)
+        large = np.zeros(10000, dtype=np.int64)
+        before = platform.clock.snapshot().get("sgx_marshalling", 0.0)
+        handle.ecall("sum_array", small)
+        mid = platform.clock.snapshot()["sgx_marshalling"]
+        handle.ecall("sum_array", large)
+        after = platform.clock.snapshot()["sgx_marshalling"]
+        assert (after - mid) > (mid - before) * 100
+
+    def test_compute_overhead_charged(self, platform, handle):
+        handle.ecall("sum_array", np.ones(500_000))
+        snapshot = platform.clock.snapshot()
+        assert snapshot["sgx_epc_compute"] > 0
+        assert snapshot["sgx_epc_compute"] == pytest.approx(
+            snapshot["compute"] * (platform.cost_model.epc_compute_factor - 1.0),
+            rel=0.2,  # enclave-create compute time is negligible but nonzero
+        )
+
+    def test_results_are_real(self, handle, platform):
+        """The simulator must not fake results -- trusted code really runs."""
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=1000)
+        assert handle.ecall("sum_array", values) == pytest.approx(values.sum())
+
+    def test_working_set_paging(self):
+        platform = SgxPlatform(
+            cost_model=SgxCostModel(epc_bytes=16 * PAGE_SIZE)
+        )
+        handle = platform.load_enclave(Arithmetic)
+        handle.ecall("churn_memory", 64 * PAGE_SIZE)
+        assert platform.epc.stats.evictions > 0
+
+
+class TestFakeSgx:
+    def test_same_results(self, platform):
+        trusted = platform.load_enclave(Arithmetic)
+        fake = platform.load_enclave(Arithmetic, trusted=False)
+        assert trusted.ecall("add", 3, 4) == fake.ecall("add", 3, 4)
+
+    def test_no_overhead_charged(self):
+        platform = SgxPlatform()
+        fake = platform.load_enclave(Arithmetic, trusted=False)
+        fake.ecall("sum_array", np.ones(100_000))
+        snapshot = platform.clock.snapshot()
+        assert "sgx_transition" not in snapshot
+        assert "sgx_marshalling" not in snapshot
+        assert "sgx_epc_compute" not in snapshot
+
+    def test_real_time_still_measured(self):
+        platform = SgxPlatform()
+        fake = platform.load_enclave(Arithmetic, trusted=False)
+        fake.ecall("sum_array", np.ones(100_000))
+        assert platform.clock.real_s > 0
+
+
+class TestEstimateBytes:
+    def test_numpy(self):
+        assert estimate_bytes(np.zeros(10, dtype=np.int64)) == 80
+
+    def test_scalars(self):
+        assert estimate_bytes(5) == 8
+        assert estimate_bytes(5.0) == 8
+        assert estimate_bytes(True) == 1
+        assert estimate_bytes(None) == 0
+
+    def test_strings_and_bytes(self):
+        assert estimate_bytes("abcd") == 4
+        assert estimate_bytes(b"abcd") == 4
+
+    def test_containers(self):
+        assert estimate_bytes([1, 2.0, "xyz"]) == 8 + 8 + 3
+        assert estimate_bytes({"k": 1}) == 1 + 8
+
+    def test_byte_size_protocol_preferred(self):
+        class Sized:
+            def byte_size(self):
+                return 1234
+
+        assert estimate_bytes(Sized()) == 1234
+
+    def test_ciphertext_size(self, platform):
+        from repro.he import (
+            Context,
+            Encryptor,
+            KeyGenerator,
+            ScalarEncoder,
+            small_parameter_options,
+        )
+
+        context = Context(small_parameter_options()[256])
+        rng = np.random.default_rng(0)
+        keys = KeyGenerator(context, rng).generate()
+        ct = Encryptor(context, keys.public, rng).encrypt(ScalarEncoder(context).encode(5))
+        assert estimate_bytes(ct) == ct.data.nbytes

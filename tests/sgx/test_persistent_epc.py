@@ -1,0 +1,99 @@
+"""Persistent in-enclave allocations and the FakeSGX no-op guarantees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sgx import Enclave, SgxCostModel, SgxPlatform, ecall
+from repro.sgx.costmodel import PAGE_SIZE
+
+
+class ResidentModel(Enclave):
+    def __init__(self, pages: int) -> None:
+        super().__init__()
+        self.pages = pages
+        self._handle: int | None = None
+
+    @ecall
+    def serve(self) -> None:
+        if self._handle is None:
+            self._handle = self.epc_reserve(self.pages * PAGE_SIZE)
+        self.epc_touch(self._handle)
+
+    @ecall
+    def transient(self, pages: int) -> None:
+        self.touch_working_set(pages * PAGE_SIZE)
+
+
+def platform_with(pages: int) -> SgxPlatform:
+    return SgxPlatform(cost_model=SgxCostModel(epc_bytes=pages * PAGE_SIZE))
+
+
+class TestPersistentAllocations:
+    def test_resident_model_free_after_warmup(self):
+        platform = platform_with(32)
+        enclave = platform.load_enclave(ResidentModel, 16)
+        enclave.ecall("serve")
+        faults_after_warmup = platform.epc.stats.faults
+        enclave.ecall("serve")
+        enclave.ecall("serve")
+        assert platform.epc.stats.faults == faults_after_warmup
+
+    def test_oversized_model_refaults_every_call(self):
+        platform = platform_with(8)
+        enclave = platform.load_enclave(ResidentModel, 64)
+        enclave.ecall("serve")
+        before = platform.epc.stats.faults
+        enclave.ecall("serve")
+        assert platform.epc.stats.faults - before >= 64
+
+    def test_transient_working_set_refaults(self):
+        platform = platform_with(32)
+        enclave = platform.load_enclave(ResidentModel, 1)
+        enclave.ecall("transient", 4)
+        before = platform.epc.stats.faults
+        enclave.ecall("transient", 4)
+        # Transient sets are freed per call, so they fault back in each time
+        # (4 working-set pages + the ECALL argument page).
+        assert platform.epc.stats.faults - before >= 4
+
+    def test_pressure_between_allocations(self):
+        """A big transient set evicts the resident model, which refaults."""
+        platform = platform_with(16)
+        enclave = platform.load_enclave(ResidentModel, 12)
+        enclave.ecall("serve")
+        enclave.ecall("transient", 12)  # evicts most of the model
+        before = platform.epc.stats.faults
+        enclave.ecall("serve")
+        assert platform.epc.stats.faults > before
+
+
+class TestFakeSgxNoops:
+    def test_reserve_returns_null_handle(self):
+        platform = platform_with(8)
+        fake = platform.load_enclave(ResidentModel, 1000, trusted=False)
+        fake.ecall("serve")  # would thrash badly if charged
+        assert platform.epc.stats.faults == 0
+        assert platform.clock.overhead_s == 0.0
+
+    def test_transient_noop(self):
+        platform = platform_with(8)
+        fake = platform.load_enclave(ResidentModel, 1, trusted=False)
+        fake.ecall("transient", 1000)
+        assert platform.epc.stats.faults == 0
+
+    def test_epc_touch_null_handle_is_safe(self):
+        platform = platform_with(8)
+        enclave = platform.load_enclave(ResidentModel, 1)
+        enclave._instance.epc_touch(0)  # the FakeSGX sentinel handle
+
+
+class TestUnattachedEnclave:
+    def test_protected_helpers_require_platform(self):
+        from repro.errors import EnclaveNotInitialized
+
+        orphan = ResidentModel(1)
+        with pytest.raises(EnclaveNotInitialized):
+            orphan.touch_working_set(PAGE_SIZE)
+        with pytest.raises(EnclaveNotInitialized):
+            _ = orphan.measurement

@@ -1,0 +1,119 @@
+"""Sealed storage: round-trips, identity binding, tamper detection."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import SealingError
+from repro.sgx import Enclave, SealingPolicy, SgxPlatform, ecall, seal, unseal
+
+
+class Vault(Enclave):
+    @ecall
+    def seal_secret(self, secret: bytes, policy_name: str = "mrenclave"):
+        policy = SealingPolicy(policy_name)
+        return self.seal(secret, policy)
+
+    @ecall
+    def unseal_secret(self, blob) -> bytes:
+        return self.unseal(blob)
+
+
+@pytest.fixture()
+def platform():
+    return SgxPlatform(platform_secret=b"\x02" * 32)
+
+
+class TestSealUnsealFunctions:
+    def test_roundtrip(self):
+        blob = seal(b"hello", b"secret", "mre", "mrs")
+        assert unseal(blob, b"secret", "mre", "mrs") == b"hello"
+
+    def test_empty_payload(self):
+        blob = seal(b"", b"secret", "mre", "mrs")
+        assert unseal(blob, b"secret", "mre", "mrs") == b""
+
+    def test_ciphertext_differs_from_plaintext(self):
+        blob = seal(b"hello world!", b"secret", "mre", "mrs")
+        assert blob.ciphertext != b"hello world!"
+
+    def test_nonce_randomizes(self):
+        a = seal(b"x", b"secret", "mre", "mrs")
+        b = seal(b"x", b"secret", "mre", "mrs")
+        assert a.ciphertext != b.ciphertext or a.nonce != b.nonce
+
+    def test_wrong_platform_rejected(self):
+        blob = seal(b"x", b"secret-a", "mre", "mrs")
+        with pytest.raises(SealingError):
+            unseal(blob, b"secret-b", "mre", "mrs")
+
+    def test_wrong_enclave_rejected_under_mrenclave_policy(self):
+        blob = seal(b"x", b"secret", "mre-1", "mrs")
+        with pytest.raises(SealingError):
+            unseal(blob, b"secret", "mre-2", "mrs")
+
+    def test_mrsigner_policy_shares_across_enclaves(self):
+        blob = seal(b"x", b"secret", "mre-1", "mrs", SealingPolicy.MRSIGNER)
+        assert unseal(blob, b"secret", "mre-2", "mrs") == b"x"
+
+    def test_mrsigner_policy_rejects_other_vendor(self):
+        blob = seal(b"x", b"secret", "mre", "mrs-1", SealingPolicy.MRSIGNER)
+        with pytest.raises(SealingError):
+            unseal(blob, b"secret", "mre", "mrs-2")
+
+    def test_tampered_ciphertext_detected(self):
+        blob = seal(b"attack at dawn", b"secret", "mre", "mrs")
+        flipped = bytes([blob.ciphertext[0] ^ 1]) + blob.ciphertext[1:]
+        tampered = dataclasses.replace(blob, ciphertext=flipped)
+        with pytest.raises(SealingError):
+            unseal(tampered, b"secret", "mre", "mrs")
+
+    def test_tampered_tag_detected(self):
+        blob = seal(b"x", b"secret", "mre", "mrs")
+        tampered = dataclasses.replace(blob, tag=bytes(32))
+        with pytest.raises(SealingError):
+            unseal(tampered, b"secret", "mre", "mrs")
+
+    def test_large_payload(self):
+        payload = bytes(range(256)) * 1000
+        blob = seal(payload, b"secret", "mre", "mrs")
+        assert unseal(blob, b"secret", "mre", "mrs") == payload
+
+
+class TestEnclaveSealing:
+    def test_enclave_roundtrip(self, platform):
+        vault = platform.load_enclave(Vault)
+        blob = vault.ecall("seal_secret", b"model-key")
+        assert vault.ecall("unseal_secret", blob) == b"model-key"
+
+    def test_other_enclave_cannot_unseal(self, platform):
+        class Impostor(Enclave):
+            @ecall
+            def try_unseal(self, blob) -> bytes:
+                return self.unseal(blob)
+
+        vault = platform.load_enclave(Vault)
+        impostor = platform.load_enclave(Impostor)
+        blob = vault.ecall("seal_secret", b"model-key")
+        with pytest.raises(SealingError):
+            impostor.ecall("try_unseal", blob)
+
+    def test_other_platform_cannot_unseal(self, platform):
+        other = SgxPlatform(platform_secret=b"\x03" * 32)
+        vault_a = platform.load_enclave(Vault)
+        vault_b = other.load_enclave(Vault)
+        blob = vault_a.ecall("seal_secret", b"model-key")
+        with pytest.raises(SealingError):
+            vault_b.ecall("unseal_secret", blob)
+
+    def test_mrsigner_policy_across_versions(self, platform):
+        vault = platform.load_enclave(Vault)
+        blob = vault.ecall("seal_secret", b"k", "mrsigner")
+
+        class VaultV2(Vault):
+            """Upgraded vault: different MRENCLAVE, same signer."""
+
+        v2 = platform.load_enclave(VaultV2)
+        assert v2.ecall("unseal_secret", blob) == b"k"
