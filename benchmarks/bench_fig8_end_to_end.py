@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bench import format_table
+from repro.bench import format_table, format_trace
 from repro.core import CryptonetsPipeline, HybridPipeline, PlaintextPipeline
+from repro.obs import metrics_from_trace, reconcile
 
 
 def test_fig8_end_to_end(
@@ -73,6 +74,17 @@ def test_fig8_end_to_end(
     saving = 1.0 - per_image["EncryptSGX"] / per_image["Encrypted"]
     benchmark.extra_info["saving_vs_encrypted"] = saving
     benchmark.extra_info.update({f"{k}_s_per_image": v for k, v in per_image.items()})
+    # Every scheme's trace must reconcile (stages cover the clock deltas);
+    # the framework's flat metrics ride along in extra_info so CI artifacts
+    # carry the full stage/crossing/bytes decomposition.
+    for res in results.values():
+        reconcile(res.trace)
+    benchmark.extra_info.update(metrics_from_trace(results["EncryptSGX"].trace))
+    bytes_crossed = sum(
+        int(e.attrs.get("bytes_in", 0)) + int(e.attrs.get("bytes_out", 0))
+        for e in results["EncryptSGX"].trace.ecalls()
+    )
+    benchmark.extra_info["EncryptSGX_bytes_crossed"] = bytes_crossed
     emit(
         "fig8_end_to_end",
         format_table(
@@ -87,7 +99,9 @@ def test_fig8_end_to_end(
         )
         + f"\nEncryptSGX saving vs Encrypted: {saving * 100:.1f}%"
         + f"\nhybrid == plaintext logits: "
-        + str(np.array_equal(results["EncryptSGX"].logits, plain.logits)),
+        + str(np.array_equal(results["EncryptSGX"].logits, plain.logits))
+        + "\n\n"
+        + format_trace(results["EncryptSGX"].trace),
     )
 
     # The paper's orderings that are robust to the HE/SGX cost ratio of the

@@ -6,8 +6,11 @@ the same flow as ``examples/quickstart.py``, reachable without knowing the
 repository layout.
 
 Options:
-    python -m repro              # quick demo (reduced dimensions)
-    python -m repro --paper      # the paper's 28x28 / 6-kernel dimensions
+    python -m repro                    # quick demo (reduced dimensions)
+    python -m repro --paper            # the paper's 28x28 / 6-kernel dimensions
+    python -m repro --smoke            # minimal dimensions/training (CI)
+    python -m repro --trace-json PATH  # export the run's trace as JSON
+                                       # (PATH of "-" writes to stdout)
 """
 
 from __future__ import annotations
@@ -16,26 +19,64 @@ import sys
 
 import numpy as np
 
+def _parse(argv: list[str]) -> tuple[dict[str, object], int | None]:
+    opts: dict[str, object] = {"paper": False, "smoke": False, "trace_json": None}
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--trace-json":
+            if not args:
+                print(__doc__)
+                return opts, 2
+            opts["trace_json"] = args.pop(0)
+        elif arg == "--paper":
+            opts["paper"] = True
+        elif arg == "--smoke":
+            opts["smoke"] = True
+        else:
+            print(__doc__)
+            return opts, 0 if arg in {"-h", "--help"} else 2
+    if opts["paper"] and opts["smoke"]:
+        print(__doc__)
+        return opts, 2
+    return opts, None
+
 
 def main(argv: list[str]) -> int:
-    paper_dims = "--paper" in argv
-    if set(argv) - {"--paper"}:
-        print(__doc__)
-        return 0 if {"-h", "--help"} & set(argv) else 2
+    opts, early = _parse(argv)
+    if early is not None:
+        return early
+    trace_path = opts["trace_json"]
+    if trace_path is not None and trace_path != "-":
+        # Fail before the training run, not after it.
+        try:
+            with open(str(trace_path), "a", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"error: cannot write --trace-json path {trace_path}: {exc}")
+            return 2
 
+    from repro.bench import format_trace
     from repro.core import (
         HybridPipeline,
         PlaintextPipeline,
         parameters_for_pipeline,
         train_paper_models,
     )
+    from repro.obs import reconcile, trace_to_json
 
-    dims = dict(image_size=28, channels=6, kernel_size=5) if paper_dims else dict(
-        image_size=12, channels=2, kernel_size=3
-    )
+    if opts["paper"]:
+        dims = dict(image_size=28, channels=6, kernel_size=5)
+        training = dict(train_size=600, test_size=150, epochs=6)
+    elif opts["smoke"]:
+        dims = dict(image_size=10, channels=2, kernel_size=3)
+        training = dict(train_size=200, test_size=40, epochs=2)
+    else:
+        dims = dict(image_size=12, channels=2, kernel_size=3)
+        training = dict(train_size=600, test_size=150, epochs=6)
     print("repro: Privacy-Preserving NN Inference via HE + SGX (ICDCS 2021)")
     print(f"dimensions: {dims}\n")
-    models = train_paper_models(train_size=600, test_size=150, epochs=6, **dims)
+    models = train_paper_models(**training, **dims)
     quantized = models.quantized_sigmoid()
     params = parameters_for_pipeline(quantized, poly_degree=1024)
     print(f"parameters: {params.describe()}")
@@ -44,6 +85,18 @@ def main(argv: list[str]) -> int:
     images = models.dataset.test_images[:4]
     result = pipeline.infer(images)
     print(result.describe())
+    reconcile(result.trace)
+    print()
+    print(format_trace(result.trace))
+
+    if opts["trace_json"] is not None:
+        text = trace_to_json(result.trace)
+        if opts["trace_json"] == "-":
+            print(text)
+        else:
+            with open(str(opts["trace_json"]), "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"\ntrace written to {opts['trace_json']}")
 
     plain = PlaintextPipeline(quantized).infer(images)
     exact = np.array_equal(result.logits, plain.logits)

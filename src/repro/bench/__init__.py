@@ -1,7 +1,7 @@
 """Benchmark harness: paper-format statistics, table printers, workloads."""
 
 from repro.bench.stats import Summary, measure_repeated, measure_simulated, t_quantile_96
-from repro.bench.tables import format_series, format_table, markdown_table
+from repro.bench.tables import format_series, format_table, format_trace, markdown_table
 from repro.bench.workloads import (
     SCALES,
     BenchScale,
@@ -18,6 +18,7 @@ __all__ = [
     "current_scale",
     "format_series",
     "format_table",
+    "format_trace",
     "hybrid_parameters",
     "markdown_table",
     "measure_repeated",

@@ -14,7 +14,8 @@ from typing import Callable, Sequence
 from repro.errors import ReproError
 from repro.sgx.clock import SimClock
 
-# Two-sided 96% Student-t quantiles (df -> t); the normal limit covers df > 120.
+# Two-sided 96% Student-t quantiles (df -> t); past df=120 the value decays
+# as 1/df toward the normal limit below.
 _T_96 = {
     1: 15.895, 2: 4.849, 3: 3.482, 4: 2.999, 5: 2.757, 6: 2.612, 7: 2.517,
     8: 2.449, 9: 2.398, 10: 2.359, 12: 2.303, 15: 2.249, 20: 2.197,
@@ -24,14 +25,22 @@ _T_96_NORMAL = 2.054
 
 
 def t_quantile_96(df: int) -> float:
-    """Two-sided 96% Student-t critical value for ``df`` degrees of freedom."""
+    """Two-sided 96% Student-t critical value for ``df`` degrees of freedom.
+
+    Tabulated values are interpolated; beyond the last tabulated df the
+    value decays as ``1/df`` toward the normal limit, so the quantile is
+    monotone decreasing everywhere (a hard cut to the normal value at the
+    df=120 boundary used to *drop* from 2.076 to 2.054 between df=120 and
+    df=121).
+    """
     if df < 1:
         raise ReproError("need at least two samples for a confidence interval")
     if df in _T_96:
         return _T_96[df]
     keys = sorted(_T_96)
     if df > keys[-1]:
-        return _T_96_NORMAL
+        last = keys[-1]
+        return _T_96_NORMAL + (_T_96[last] - _T_96_NORMAL) * (last / df)
     lower = max(k for k in keys if k < df)
     upper = min(k for k in keys if k > df)
     frac = (df - lower) / (upper - lower)

@@ -58,6 +58,51 @@ def format_series(
     return format_table(headers, rows, title=title)
 
 
+def format_trace(trace, digits: int = 4) -> str:
+    """A pipeline trace as a stage-breakdown table.
+
+    One row per stage child of the root span (real seconds, modeled SGX
+    overhead, enclave crossings, bytes moved across the boundary), plus a
+    total row that, by the tracing invariant, equals the ``SimClock`` deltas
+    across the run.
+    """
+    stages = trace.stages() or [trace]
+    rows = []
+    for stage in stages:
+        ecalls = stage.ecalls()
+        moved = sum(
+            int(e.attrs.get("bytes_in", 0)) + int(e.attrs.get("bytes_out", 0))
+            for e in ecalls
+        )
+        rows.append(
+            [
+                stage.name,
+                f"{stage.real_s:.{digits}f}",
+                f"{stage.overhead_s:.{digits}f}",
+                str(stage.crossings),
+                str(moved),
+            ]
+        )
+    total_moved = sum(
+        int(e.attrs.get("bytes_in", 0)) + int(e.attrs.get("bytes_out", 0))
+        for e in trace.ecalls()
+    )
+    rows.append(
+        [
+            "total",
+            f"{trace.real_s:.{digits}f}",
+            f"{trace.overhead_s:.{digits}f}",
+            str(trace.crossings),
+            str(total_moved),
+        ]
+    )
+    return format_table(
+        ["stage", "real s", "sgx overhead s", "crossings", "bytes crossed"],
+        rows,
+        title=f"trace: {trace.name}",
+    )
+
+
 def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     """GitHub-flavoured markdown table (for pasting into EXPERIMENTS.md)."""
     lines = ["| " + " | ".join(str(h) for h in headers) + " |"]

@@ -58,7 +58,7 @@ from repro.core.refresh import (
     sgx_refresh,
     sgx_refresh_one_by_one,
 )
-from repro.core.results import InferenceResult, StageTiming
+from repro.core.results import InferenceResult, StageTiming, stages_from_trace
 from repro.core.server import EdgeServer, ServedResult, UserSession
 from repro.core.simd import SimdHybridPipeline, SlotCodec
 
@@ -106,5 +106,6 @@ __all__ = [
     "required_budget_bits",
     "sgx_refresh",
     "sgx_refresh_one_by_one",
+    "stages_from_trace",
     "train_paper_models",
 ]

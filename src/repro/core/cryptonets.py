@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import heops
-from repro.core.results import InferenceResult, StageTiming
+from repro.core.results import InferenceResult, stages_from_trace
 from repro.errors import PipelineError
 from repro.he.context import Context
 from repro.he.decryptor import Decryptor
@@ -30,7 +30,8 @@ from repro.he.evaluator import Evaluator, OperationCounter
 from repro.he.keys import KeyGenerator
 from repro.he.params import EncryptionParams
 from repro.nn.quantize import QuantizedCNN
-from repro.sgx.clock import ClockWindow, SimClock
+from repro.obs import Tracer
+from repro.sgx.clock import SimClock
 
 
 class CryptonetsPipeline:
@@ -76,6 +77,7 @@ class CryptonetsPipeline:
         self._keys = keygen.generate()
         self._relin_keys = keygen.relin_keys(self._keys.secret)
         self.counter = OperationCounter()
+        self.tracer = Tracer(self.clock, counter=self.counter)
         self.evaluator = Evaluator(self.context, self.counter)
         self.encoder = ScalarEncoder(self.context)
         self.encryptor = Encryptor(self.context, self._keys.public, rng)
@@ -101,50 +103,42 @@ class CryptonetsPipeline:
         return self.encryptor.encrypt(self.encoder.encode(pixels))
 
     def infer(self, images: np.ndarray) -> InferenceResult:
-        stages: list[StageTiming] = []
-        window = ClockWindow(self.clock)
+        with self.tracer.span(
+            self.scheme, kind="pipeline", batch=int(images.shape[0])
+        ) as trace:
+            with self.tracer.stage("encrypt"):
+                ct = self.encrypt_images(images)
 
-        def finish(name: str) -> None:
-            stages.append(StageTiming(name, window.real_s, window.overhead_s))
-            window.restart()
+            with self.tracer.stage("conv"):
+                conv = heops.he_conv2d(
+                    self.evaluator, self.encoder, ct, self.conv_weights
+                )
 
-        with self.clock.measure_real():
-            ct = self.encrypt_images(images)
-        finish("encrypt")
+            with self.tracer.stage("square"):
+                squared = heops.he_square(self.evaluator, conv)
 
-        with self.clock.measure_real():
-            conv = heops.he_conv2d(self.evaluator, self.encoder, ct, self.conv_weights)
-        finish("conv")
+            with self.tracer.stage("relinearize"):
+                relined = self.evaluator.relinearize(squared, self._relin_keys)
 
-        with self.clock.measure_real():
-            squared = heops.he_square(self.evaluator, conv)
-        finish("square")
+            with self.tracer.stage("pool"):
+                pooled = heops.he_scaled_mean_pool(
+                    self.evaluator, relined, self.quantized.pool_window
+                )
 
-        with self.clock.measure_real():
-            relined = self.evaluator.relinearize(squared, self._relin_keys)
-        finish("relinearize")
+            with self.tracer.stage("fc"):
+                logits_ct = heops.he_dense(
+                    self.evaluator, self.encoder, pooled, self.dense_weights
+                )
 
-        with self.clock.measure_real():
-            pooled = heops.he_scaled_mean_pool(
-                self.evaluator, relined, self.quantized.pool_window
-            )
-        finish("pool")
-
-        with self.clock.measure_real():
-            logits_ct = heops.he_dense(
-                self.evaluator, self.encoder, pooled, self.dense_weights
-            )
-        finish("fc")
-
-        budget = self.decryptor.invariant_noise_budget(logits_ct)
-        with self.clock.measure_real():
-            logits = self.encoder.decode(self.decryptor.decrypt(logits_ct))
-        finish("decrypt")
+            budget = self.decryptor.invariant_noise_budget(logits_ct)
+            with self.tracer.stage("decrypt"):
+                logits = self.encoder.decode(self.decryptor.decrypt(logits_ct))
 
         return InferenceResult(
             logits=logits,
-            stages=stages,
+            stages=stages_from_trace(trace),
             scheme=self.scheme,
             noise_budget_bits=budget,
             op_counts=dict(self.counter.counts),
+            trace=trace,
         )

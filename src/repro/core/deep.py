@@ -21,7 +21,7 @@ import numpy as np
 from repro.core import heops
 from repro.core.enclave_service import InferenceEnclave
 from repro.core.keyflow import establish_user_keys
-from repro.core.results import InferenceResult, StageTiming
+from repro.core.results import InferenceResult, stages_from_trace
 from repro.errors import PipelineError
 from repro.he.context import Context
 from repro.he.decryptor import Decryptor
@@ -31,7 +31,6 @@ from repro.he.evaluator import Evaluator, OperationCounter
 from repro.he.params import EncryptionParams
 from repro.nn.deep import DeepQuantizedCNN
 from repro.sgx.attestation import AttestationVerificationService, QuotingService
-from repro.sgx.clock import ClockWindow
 from repro.sgx.enclave import SgxPlatform
 
 
@@ -63,6 +62,7 @@ class DeepHybridPipeline:
         self.params = params
         self.platform = platform if platform is not None else SgxPlatform()
         self.clock = self.platform.clock
+        self.tracer = self.platform.tracer
         self.context = Context(params)
         self.enclave = self.platform.load_enclave(InferenceEnclave, params, seed)
         self.enclave.ecall("generate_keys")
@@ -92,53 +92,57 @@ class DeepHybridPipeline:
         pixels = self.quantized.quantize_images(images)
         return self.encryptor.encrypt(self.encoder.encode(pixels))
 
+    def _stage(self, name: str):
+        return self.tracer.stage(
+            name, counter=self.counter, side_channel=self.enclave.side_channel
+        )
+
     def infer(self, images: np.ndarray) -> InferenceResult:
-        stages: list[StageTiming] = []
-        window = ClockWindow(self.clock)
-        crossings_before = self.enclave.side_channel.count("ecall")
+        with self.tracer.span(
+            self.scheme,
+            kind="pipeline",
+            counter=self.counter,
+            side_channel=self.enclave.side_channel,
+            batch=int(images.shape[0]),
+            blocks=len(self.quantized.blocks),
+        ) as trace:
+            with self._stage("encrypt"):
+                ct = self.encrypt_images(images)
 
-        def finish(name: str) -> None:
-            stages.append(StageTiming(name, window.real_s, window.overhead_s))
-            window.restart()
+            for i, (block, weights) in enumerate(
+                zip(self.quantized.blocks, self.block_weights)
+            ):
+                with self._stage(f"conv_{i}"):
+                    conv = heops.he_conv2d(self.evaluator, self.encoder, ct, weights)
+                in_scale = self.quantized.block_input_scale(i) * block.weight_scale
+                with self._stage(f"sgx_block_{i}"):
+                    ct = self.enclave.ecall(
+                        "activation_pool",
+                        conv,
+                        in_scale,
+                        block.act_scale,
+                        block.pool_window,
+                        block.activation,
+                        block.pool,
+                    )
 
-        with self.clock.measure_real():
-            ct = self.encrypt_images(images)
-        finish("encrypt")
+            with self._stage("fc"):
+                logits_ct = heops.he_dense(
+                    self.evaluator, self.encoder, ct, self.dense_weights
+                )
 
-        for i, (block, weights) in enumerate(
-            zip(self.quantized.blocks, self.block_weights)
-        ):
-            with self.clock.measure_real():
-                conv = heops.he_conv2d(self.evaluator, self.encoder, ct, weights)
-            finish(f"conv_{i}")
-            in_scale = self.quantized.block_input_scale(i) * block.weight_scale
-            ct = self.enclave.ecall(
-                "activation_pool",
-                conv,
-                in_scale,
-                block.act_scale,
-                block.pool_window,
-                block.activation,
-                block.pool,
-            )
-            finish(f"sgx_block_{i}")
-
-        with self.clock.measure_real():
-            logits_ct = heops.he_dense(self.evaluator, self.encoder, ct, self.dense_weights)
-        finish("fc")
-
-        budget = self.decryptor.invariant_noise_budget(logits_ct)
-        with self.clock.measure_real():
-            logits = self.encoder.decode(self.decryptor.decrypt(logits_ct))
-        finish("decrypt")
+            budget = self.decryptor.invariant_noise_budget(logits_ct)
+            with self._stage("decrypt"):
+                logits = self.encoder.decode(self.decryptor.decrypt(logits_ct))
 
         return InferenceResult(
             logits=logits,
-            stages=stages,
+            stages=stages_from_trace(trace),
             scheme=self.scheme,
             noise_budget_bits=budget,
             op_counts=dict(self.counter.counts),
-            enclave_crossings=self.enclave.side_channel.count("ecall") - crossings_before,
+            enclave_crossings=trace.crossings,
+            trace=trace,
         )
 
 

@@ -28,7 +28,7 @@ import numpy as np
 from repro.core import heops
 from repro.core.enclave_service import InferenceEnclave
 from repro.core.keyflow import establish_user_keys
-from repro.core.results import InferenceResult, StageTiming
+from repro.core.results import InferenceResult, stages_from_trace
 from repro.errors import PipelineError
 from repro.he.context import Ciphertext, Context
 from repro.he.decryptor import Decryptor
@@ -38,7 +38,6 @@ from repro.he.evaluator import Evaluator, OperationCounter
 from repro.he.params import EncryptionParams
 from repro.nn.quantize import QuantizedCNN
 from repro.sgx.attestation import AttestationVerificationService, QuotingService
-from repro.sgx.clock import ClockWindow
 from repro.sgx.enclave import SgxPlatform
 
 MODES = ("batched", "per_pixel", "fake")
@@ -97,6 +96,7 @@ class HybridPipeline:
         self.activation = quantized.activation
         self.platform = platform if platform is not None else SgxPlatform()
         self.clock = self.platform.clock
+        self.tracer = self.platform.tracer
         self.context = Context(params)
 
         # Load the trusted service; "fake" runs the same code with no enclave.
@@ -180,42 +180,49 @@ class HybridPipeline:
         activated = Ciphertext(self.context, stacked, is_ntt=True)
         return self.enclave.ecall("mean_pool", activated, self.quantized.pool_window)
 
+    def _stage(self, name: str):
+        return self.tracer.stage(
+            name, counter=self.counter, side_channel=self.enclave.side_channel
+        )
+
     def infer(self, images: np.ndarray) -> InferenceResult:
-        stages: list[StageTiming] = []
-        window = ClockWindow(self.clock)
-        crossings_before = self.enclave.side_channel.count("ecall")
+        with self.tracer.span(
+            self.scheme,
+            kind="pipeline",
+            counter=self.counter,
+            side_channel=self.enclave.side_channel,
+            mode=self.mode,
+            batch=int(images.shape[0]),
+        ) as trace:
+            with self._stage("encrypt"):
+                ct = self.encrypt_images(images)
 
-        def finish(name: str) -> None:
-            stages.append(StageTiming(name, window.real_s, window.overhead_s))
-            window.restart()
+            with self._stage("conv"):
+                conv = heops.he_conv2d(
+                    self.evaluator, self.encoder, ct, self.conv_weights
+                )
 
-        with self.clock.measure_real():
-            ct = self.encrypt_images(images)
-        finish("encrypt")
+            # The stage span measures host wall time *exclusively*, so the
+            # per-pixel mode's slicing/reassembly around its ECALLs is
+            # charged here without double-counting the in-enclave compute.
+            with self._stage("sgx_activation_pool"):
+                hidden = self._activation_pool(conv)
 
-        with self.clock.measure_real():
-            conv = heops.he_conv2d(self.evaluator, self.encoder, ct, self.conv_weights)
-        finish("conv")
+            with self._stage("fc"):
+                logits_ct = heops.he_dense(
+                    self.evaluator, self.encoder, hidden, self.dense_weights
+                )
 
-        hidden = self._activation_pool(conv)
-        finish("sgx_activation_pool")
-
-        with self.clock.measure_real():
-            logits_ct = heops.he_dense(
-                self.evaluator, self.encoder, hidden, self.dense_weights
-            )
-        finish("fc")
-
-        budget = self.decryptor.invariant_noise_budget(logits_ct)
-        with self.clock.measure_real():
-            logits = self.encoder.decode(self.decryptor.decrypt(logits_ct))
-        finish("decrypt")
+            budget = self.decryptor.invariant_noise_budget(logits_ct)
+            with self._stage("decrypt"):
+                logits = self.encoder.decode(self.decryptor.decrypt(logits_ct))
 
         return InferenceResult(
             logits=logits,
-            stages=stages,
+            stages=stages_from_trace(trace),
             scheme=self.scheme,
             noise_budget_bits=budget,
             op_counts=dict(self.counter.counts),
-            enclave_crossings=self.enclave.side_channel.count("ecall") - crossings_before,
+            enclave_crossings=trace.crossings,
+            trace=trace,
         )

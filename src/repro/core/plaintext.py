@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.results import InferenceResult, StageTiming
+from repro.core.results import InferenceResult, StageTiming, stages_from_trace
 from repro.nn.model import Sequential
 from repro.nn.quantize import QuantizedCNN
-from repro.sgx.clock import ClockWindow, SimClock
+from repro.obs import Tracer
+from repro.sgx.clock import SimClock
 
 
 class PlaintextPipeline:
@@ -30,34 +31,35 @@ class PlaintextPipeline:
     def __init__(self, quantized: QuantizedCNN, clock: SimClock | None = None) -> None:
         self.quantized = quantized
         self.clock = clock if clock is not None else SimClock()
+        self.tracer = Tracer(self.clock)
 
     def infer(self, images: np.ndarray) -> InferenceResult:
-        stages: list[StageTiming] = []
-        window = ClockWindow(self.clock)
+        with self.tracer.span(
+            self.scheme, kind="pipeline", batch=int(images.shape[0])
+        ) as trace:
+            with self.tracer.stage("quantize"):
+                x = self.quantized.quantize_images(images)
 
-        with self.clock.measure_real():
-            x = self.quantized.quantize_images(images)
-        stages.append(StageTiming("quantize", window.real_s))
-        window.restart()
+            with self.tracer.stage("conv"):
+                conv = self.quantized.conv_stage(x)
 
-        with self.clock.measure_real():
-            conv = self.quantized.conv_stage(x)
-        stages.append(StageTiming("conv", window.real_s))
-        window.restart()
+            with self.tracer.stage("activation_pool"):
+                if self.quantized.activation == "square":
+                    hidden = self.quantized.scaled_pool_stage(
+                        self.quantized.square_stage(conv)
+                    )
+                else:
+                    hidden = self.quantized.enclave_stage(conv)
 
-        with self.clock.measure_real():
-            if self.quantized.activation == "square":
-                hidden = self.quantized.scaled_pool_stage(self.quantized.square_stage(conv))
-            else:
-                hidden = self.quantized.enclave_stage(conv)
-        stages.append(StageTiming("activation_pool", window.real_s))
-        window.restart()
+            with self.tracer.stage("fc"):
+                logits = self.quantized.fc_stage(hidden)
 
-        with self.clock.measure_real():
-            logits = self.quantized.fc_stage(hidden)
-        stages.append(StageTiming("fc", window.real_s))
-
-        return InferenceResult(logits=logits, stages=stages, scheme=self.scheme)
+        return InferenceResult(
+            logits=logits,
+            stages=stages_from_trace(trace),
+            scheme=self.scheme,
+            trace=trace,
+        )
 
 
 class FloatPipeline:

@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.tracer import Span
+
 
 @dataclass
 class StageTiming:
@@ -24,6 +26,15 @@ class StageTiming:
     def elapsed_s(self) -> float:
         return self.real_s + self.overhead_s
 
+    @classmethod
+    def from_span(cls, span: Span) -> "StageTiming":
+        return cls(span.name, span.real_s, span.overhead_s)
+
+
+def stages_from_trace(trace: Span) -> list[StageTiming]:
+    """Stage timings from a pipeline span's direct ``stage`` children."""
+    return [StageTiming.from_span(s) for s in trace.stages()]
+
 
 @dataclass
 class InferenceResult:
@@ -37,6 +48,8 @@ class InferenceResult:
             logits at decryption time (None for plaintext pipelines).
         op_counts: homomorphic operation tallies (C x P, C + C, ...).
         enclave_crossings: number of ECALLs the run needed.
+        trace: the run's root span (pipeline -> stage -> ecall), when the
+            pipeline traced it; ``stages`` are its direct stage children.
     """
 
     logits: np.ndarray
@@ -45,6 +58,7 @@ class InferenceResult:
     noise_budget_bits: float | None = None
     op_counts: dict[str, int] = field(default_factory=dict)
     enclave_crossings: int = 0
+    trace: Span | None = None
 
     @property
     def predictions(self) -> np.ndarray:

@@ -14,8 +14,10 @@ This is the API a downstream integrator would embed::
     server = EdgeServer(params, seed=7)
     server.provision_model("digits", quantized)
     session = server.enroll_user(entropy=os.urandom(32), verifier=verifier)
-    response = server.infer("digits", session.encrypt(images))
+    response = server.infer("digits", session.encrypt("digits", images))
     predictions = session.decrypt(response)
+
+(see ``examples/multi_user_service.py`` for the full runnable flow).
 """
 
 from __future__ import annotations
@@ -28,7 +30,7 @@ import numpy as np
 from repro.core import heops
 from repro.core.enclave_service import InferenceEnclave
 from repro.core.keyflow import SgxKeyDistribution, UserClient
-from repro.core.results import InferenceResult, StageTiming
+from repro.core.results import InferenceResult, stages_from_trace
 from repro.errors import PipelineError, SealingError
 from repro.he.context import Ciphertext, Context
 from repro.he.decryptor import Decryptor
@@ -38,7 +40,6 @@ from repro.he.evaluator import Evaluator, OperationCounter
 from repro.he.params import EncryptionParams
 from repro.nn.quantize import QuantizedCNN
 from repro.sgx.attestation import AttestationVerificationService, QuotingService
-from repro.sgx.clock import ClockWindow
 from repro.sgx.enclave import SgxPlatform
 from repro.sgx.sealing import SealedBlob
 
@@ -196,36 +197,47 @@ class EdgeServer:
         """Run the hybrid pipeline on encrypted pixels; logits stay encrypted."""
         quantized = self._require_model(model_name)
         conv_weights, dense_weights = self._encoded[model_name]
-        stages: list[StageTiming] = []
-        window = ClockWindow(self.platform.clock)
-        clock = self.platform.clock
+        tracer = self.platform.tracer
 
-        with clock.measure_real():
-            conv = heops.he_conv2d(self.evaluator, self.encoder, ct, conv_weights)
-        stages.append(StageTiming("conv", window.real_s, window.overhead_s))
-        window.restart()
+        def stage(name: str):
+            return tracer.stage(
+                name, counter=self.counter, side_channel=self.enclave.side_channel
+            )
 
-        hidden = self.enclave.ecall(
-            "activation_pool",
-            conv,
-            quantized.conv_output_scale,
-            quantized.act_scale,
-            quantized.pool_window,
-            quantized.activation,
-            quantized.pool,
-        )
-        stages.append(StageTiming("sgx_activation_pool", window.real_s, window.overhead_s))
-        window.restart()
+        with tracer.span(
+            "EdgeServer/EncryptSGX",
+            kind="pipeline",
+            counter=self.counter,
+            side_channel=self.enclave.side_channel,
+            model=model_name,
+            batch=int(ct.batch_shape[0]),
+        ) as trace:
+            with stage("conv"):
+                conv = heops.he_conv2d(self.evaluator, self.encoder, ct, conv_weights)
 
-        with clock.measure_real():
-            logits_ct = heops.he_dense(self.evaluator, self.encoder, hidden, dense_weights)
-        stages.append(StageTiming("fc", window.real_s, window.overhead_s))
+            with stage("sgx_activation_pool"):
+                hidden = self.enclave.ecall(
+                    "activation_pool",
+                    conv,
+                    quantized.conv_output_scale,
+                    quantized.act_scale,
+                    quantized.pool_window,
+                    quantized.activation,
+                    quantized.pool,
+                )
+
+            with stage("fc"):
+                logits_ct = heops.he_dense(
+                    self.evaluator, self.encoder, hidden, dense_weights
+                )
 
         timing = InferenceResult(
             logits=np.zeros((ct.batch_shape[0], dense_weights.out_features)),
-            stages=stages,
+            stages=stages_from_trace(trace),
             scheme="EdgeServer/EncryptSGX",
             op_counts=dict(self.counter.counts),
+            enclave_crossings=trace.crossings,
+            trace=trace,
         )
         return ServedResult(logits_ct=logits_ct, timing=timing)
 

@@ -22,7 +22,7 @@ import numpy as np
 from repro.core import heops
 from repro.core.enclave_service import InferenceEnclave
 from repro.core.keyflow import establish_user_keys
-from repro.core.results import InferenceResult, StageTiming
+from repro.core.results import InferenceResult, stages_from_trace
 from repro.errors import PipelineError
 from repro.he.batching import BatchEncoder
 from repro.he.context import Ciphertext, Context
@@ -33,7 +33,6 @@ from repro.he.evaluator import Evaluator, OperationCounter
 from repro.he.params import EncryptionParams
 from repro.nn.quantize import QuantizedCNN
 from repro.sgx.attestation import AttestationVerificationService, QuotingService
-from repro.sgx.clock import ClockWindow
 from repro.sgx.enclave import SgxPlatform
 
 
@@ -107,6 +106,7 @@ class SimdHybridPipeline:
         self.params = params
         self.platform = platform if platform is not None else SgxPlatform()
         self.clock = self.platform.clock
+        self.tracer = self.platform.tracer
         self.context = Context(params)
         self.codec = SlotCodec(self.context)
 
@@ -141,51 +141,57 @@ class SimdHybridPipeline:
         pixels = self.quantized.quantize_images(images)
         return self.encryptor.encrypt(self.codec.encode(pixels))
 
+    def _stage(self, name: str):
+        return self.tracer.stage(
+            name, counter=self.counter, side_channel=self.enclave.side_channel
+        )
+
     def infer(self, images: np.ndarray) -> InferenceResult:
         batch = images.shape[0]
-        stages: list[StageTiming] = []
-        window = ClockWindow(self.clock)
-        crossings_before = self.enclave.side_channel.count("ecall")
+        with self.tracer.span(
+            self.scheme,
+            kind="pipeline",
+            counter=self.counter,
+            side_channel=self.enclave.side_channel,
+            batch=int(batch),
+            slot_count=self.slot_count,
+        ) as trace:
+            with self._stage("encrypt"):
+                ct = self.encrypt_images(images)
 
-        def finish(name: str) -> None:
-            stages.append(StageTiming(name, window.real_s, window.overhead_s))
-            window.restart()
+            with self._stage("conv"):
+                conv = heops.he_conv2d(
+                    self.evaluator, self.encoder, ct, self.conv_weights
+                )
 
-        with self.clock.measure_real():
-            ct = self.encrypt_images(images)
-        finish("encrypt")
+            with self._stage("sgx_activation_pool"):
+                hidden = self.enclave.ecall(
+                    "activation_pool_simd",
+                    conv,
+                    self.quantized.conv_output_scale,
+                    self.quantized.act_scale,
+                    self.quantized.pool_window,
+                    self.quantized.activation,
+                    self.quantized.pool,
+                )
 
-        with self.clock.measure_real():
-            conv = heops.he_conv2d(self.evaluator, self.encoder, ct, self.conv_weights)
-        finish("conv")
+            with self._stage("fc"):
+                logits_ct = heops.he_dense(
+                    self.evaluator, self.encoder, hidden, self.dense_weights
+                )
 
-        hidden = self.enclave.ecall(
-            "activation_pool_simd",
-            conv,
-            self.quantized.conv_output_scale,
-            self.quantized.act_scale,
-            self.quantized.pool_window,
-            self.quantized.activation,
-            self.quantized.pool,
-        )
-        finish("sgx_activation_pool")
-
-        with self.clock.measure_real():
-            logits_ct = heops.he_dense(
-                self.evaluator, self.encoder, hidden, self.dense_weights
-            )
-        finish("fc")
-
-        budget = self.decryptor.invariant_noise_budget(logits_ct)
-        with self.clock.measure_real():
-            logits = self.codec.decode_flat(self.decryptor.decrypt(logits_ct), batch)
-        finish("decrypt")
+            budget = self.decryptor.invariant_noise_budget(logits_ct)
+            with self._stage("decrypt"):
+                logits = self.codec.decode_flat(
+                    self.decryptor.decrypt(logits_ct), batch
+                )
 
         return InferenceResult(
             logits=logits,
-            stages=stages,
+            stages=stages_from_trace(trace),
             scheme=self.scheme,
             noise_budget_bits=budget,
             op_counts=dict(self.counter.counts),
-            enclave_crossings=self.enclave.side_channel.count("ecall") - crossings_before,
+            enclave_crossings=trace.crossings,
+            trace=trace,
         )

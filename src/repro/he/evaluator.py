@@ -148,7 +148,7 @@ class Evaluator:
             raise ParameterError("sum_batch requires a batched ciphertext")
         axis = axis % len(ct.batch_shape)
         ct = ct.to_ntt()
-        summed = np.add.reduce(ct.data, axis=axis) % self.context.ring._p_col
+        summed = self.context.ring.reduce_sum(ct.data, axis=axis)
         if self.counter is not None:
             folds = ct.batch_shape[axis] - 1
             lanes = ct.batch_count // max(1, ct.batch_shape[axis])

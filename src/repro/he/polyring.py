@@ -126,6 +126,21 @@ class PolyContext:
         operands are in NTT domain."""
         return a * b % self._p_col
 
+    def reduce_sum(self, a: np.ndarray, axis: int) -> np.ndarray:
+        """Sum a batch of ring elements along one leading (batch) axis.
+
+        Equivalent to folding :meth:`add` over that axis but performed as a
+        single numpy reduction.  ``axis`` must address a batch axis, not the
+        trailing ``(k, n)`` residue/coefficient axes.
+        """
+        axis = axis % a.ndim
+        if axis >= a.ndim - 2:
+            raise ParameterError(
+                "reduce_sum operates on batch axes; the trailing two axes "
+                "are the RNS residue and coefficient dimensions"
+            )
+        return np.add.reduce(a, axis=axis) % self._p_col
+
     # ------------------------------------------------------------------
     # domain conversion
     # ------------------------------------------------------------------

@@ -1,0 +1,35 @@
+"""Observability: structured tracing + metrics over the simulated clock.
+
+``repro.obs`` replaces the ad-hoc ``ClockWindow`` + ``StageTiming``
+bookkeeping the pipelines used to hand-roll.  A :class:`Tracer` bound to a
+:class:`~repro.sgx.clock.SimClock` emits nested :class:`Span` records
+(pipeline -> stage -> ecall) capturing real seconds, modeled SGX overhead by
+category, homomorphic-operation deltas, and enclave-crossing counts; traces
+export to JSON or a flat Prometheus-style metrics dict.
+
+See DESIGN.md ("Observability") for the span schema and the timing
+invariant the layer makes enforceable.
+"""
+
+from repro.obs.export import (
+    metrics_from_trace,
+    render_prometheus,
+    trace_from_dict,
+    trace_from_json,
+    trace_to_dict,
+    trace_to_json,
+)
+from repro.obs.tracer import SPAN_KINDS, Span, Tracer, reconcile
+
+__all__ = [
+    "SPAN_KINDS",
+    "Span",
+    "Tracer",
+    "metrics_from_trace",
+    "reconcile",
+    "render_prometheus",
+    "trace_from_dict",
+    "trace_from_json",
+    "trace_to_dict",
+    "trace_to_json",
+]

@@ -1,0 +1,106 @@
+"""Trace exporters: JSON documents and flat Prometheus-style metrics.
+
+Two consumers, two shapes:
+
+* :func:`trace_to_json` -- the full span tree, schema documented in
+  DESIGN.md, for offline inspection and the ``python -m repro --trace-json``
+  smoke path;
+* :func:`metrics_from_trace` -- a flat ``{metric_name: value}`` dict using
+  Prometheus exposition-style names with ``{label="value"}`` selectors, the
+  form the benchmark tables and a scrape endpoint would consume directly.
+  :func:`render_prometheus` turns that dict into exposition text lines.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.tracer import Span
+
+
+def trace_to_dict(span: Span) -> dict:
+    """The span tree as a JSON-ready dict (alias of :meth:`Span.to_dict`)."""
+    return span.to_dict()
+
+
+def trace_to_json(span: Span, indent: int | None = 2) -> str:
+    """Serialize a span tree to a JSON document."""
+    return json.dumps(span.to_dict(), indent=indent)
+
+
+def trace_from_dict(doc: dict) -> Span:
+    """Rebuild a span tree from its :func:`trace_to_dict` form."""
+    return Span(
+        name=doc["name"],
+        kind=doc["kind"],
+        real_s=doc["real_s"],
+        overhead_s=doc["overhead_s"],
+        overhead_by_category=dict(doc.get("overhead_by_category", {})),
+        op_counts=dict(doc.get("op_counts", {})),
+        crossings=doc.get("crossings", 0),
+        attrs=dict(doc.get("attrs", {})),
+        children=[trace_from_dict(c) for c in doc.get("children", [])],
+    )
+
+
+def trace_from_json(text: str) -> Span:
+    """Rebuild a span tree from a :func:`trace_to_json` document."""
+    return trace_from_dict(json.loads(text))
+
+
+def _labels(**labels: str) -> str:
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()) if v != "")
+    return "{" + inner + "}" if inner else ""
+
+
+def metrics_from_trace(span: Span, prefix: str = "repro") -> dict[str, float]:
+    """Flatten one pipeline trace into a Prometheus-style metrics dict.
+
+    Emitted families (``p`` = the root span's name, i.e. the scheme label):
+
+    * ``{prefix}_pipeline_real_seconds{pipeline=p}`` / ``_overhead_seconds``
+    * ``{prefix}_pipeline_crossings_total{pipeline=p}``
+    * ``{prefix}_stage_real_seconds{pipeline=p,stage=s}`` (+ overhead), one
+      per direct ``stage`` child;
+    * ``{prefix}_overhead_seconds{pipeline=p,category=c}`` from the root's
+      cost-model decomposition;
+    * ``{prefix}_he_ops_total{pipeline=p,op=o}`` from the root's operation
+      deltas;
+    * ``{prefix}_ecall_count{pipeline=p,ecall=e}`` and
+      ``{prefix}_ecall_bytes_total{pipeline=p,ecall=e}`` aggregated over all
+      descendant ecall spans.
+    """
+    pipeline = span.name
+    metrics: dict[str, float] = {
+        f"{prefix}_pipeline_real_seconds{_labels(pipeline=pipeline)}": span.real_s,
+        f"{prefix}_pipeline_overhead_seconds{_labels(pipeline=pipeline)}": span.overhead_s,
+        f"{prefix}_pipeline_crossings_total{_labels(pipeline=pipeline)}": float(
+            span.crossings
+        ),
+    }
+    for stage in span.stages():
+        labels = _labels(pipeline=pipeline, stage=stage.name)
+        metrics[f"{prefix}_stage_real_seconds{labels}"] = stage.real_s
+        metrics[f"{prefix}_stage_overhead_seconds{labels}"] = stage.overhead_s
+    for category, seconds in sorted(span.overhead_by_category.items()):
+        labels = _labels(pipeline=pipeline, category=category)
+        metrics[f"{prefix}_overhead_seconds{labels}"] = seconds
+    for op, count in sorted(span.op_counts.items()):
+        labels = _labels(pipeline=pipeline, op=op)
+        metrics[f"{prefix}_he_ops_total{labels}"] = float(count)
+    calls: dict[str, int] = {}
+    bytes_crossed: dict[str, int] = {}
+    for ecall in span.ecalls():
+        calls[ecall.name] = calls.get(ecall.name, 0) + 1
+        moved = int(ecall.attrs.get("bytes_in", 0)) + int(ecall.attrs.get("bytes_out", 0))
+        bytes_crossed[ecall.name] = bytes_crossed.get(ecall.name, 0) + moved
+    for name in sorted(calls):
+        labels = _labels(pipeline=pipeline, ecall=name)
+        metrics[f"{prefix}_ecall_count{labels}"] = float(calls[name])
+        metrics[f"{prefix}_ecall_bytes_total{labels}"] = float(bytes_crossed[name])
+    return metrics
+
+
+def render_prometheus(metrics: dict[str, float]) -> str:
+    """Metrics dict as Prometheus exposition text (one sample per line)."""
+    return "\n".join(f"{name} {value:.9g}" for name, value in metrics.items())

@@ -51,6 +51,24 @@ class SimClock:
         finally:
             self.elapse_real(time.perf_counter() - start)
 
+    @contextmanager
+    def measure_real_exclusive(self):
+        """Like :meth:`measure_real`, but safe to wrap around code that
+        already records real time into this clock (e.g. ECALLs).
+
+        Only the wall time *not* elapsed by inner measurements is added, so
+        the block's total contribution equals its wall time exactly once.
+        This is what lets a pipeline stage account host-side work around
+        enclave crossings without double-counting the trusted body.
+        """
+        start = time.perf_counter()
+        real_before = self.real_s
+        try:
+            yield
+        finally:
+            inner = self.real_s - real_before
+            self.elapse_real(max(0.0, time.perf_counter() - start - inner))
+
     def snapshot(self) -> dict[str, float]:
         """Copy of the per-category totals (including real compute)."""
         return dict(self.by_category)

@@ -21,6 +21,7 @@ import os
 from typing import Any
 
 from repro.errors import EnclaveError, EnclaveNotInitialized
+from repro.obs.tracer import Tracer
 from repro.sgx import sealing
 from repro.sgx.clock import SimClock
 from repro.sgx.costmodel import SgxCostModel, paper_cost_model
@@ -163,27 +164,38 @@ class EnclaveHandle:
         bytes_in = sum(estimate_bytes(a) for a in args) + sum(
             estimate_bytes(v) for v in kwargs.values()
         )
-        if self.trusted:
-            clock.charge(model.transition_overhead_s(1), "sgx_transition")
-            clock.charge(model.marshalling_overhead_s(bytes_in), "sgx_marshalling")
-            epc_handle = self._platform.epc.allocate(bytes_in)
-            try:
-                self._platform.epc.touch(epc_handle)
-                before = clock.real_s
+        with self._platform.tracer.span(
+            name,
+            kind="ecall",
+            side_channel=self.side_channel,
+            enclave=type(self._instance).__name__,
+            trusted=self.trusted,
+            bytes_in=bytes_in,
+        ) as span:
+            if self.trusted:
+                clock.charge(model.transition_overhead_s(1), "sgx_transition")
+                clock.charge(model.marshalling_overhead_s(bytes_in), "sgx_marshalling")
+                epc_handle = self._platform.epc.allocate(bytes_in)
+                try:
+                    self._platform.epc.touch(epc_handle)
+                    before = clock.real_s
+                    with clock.measure_real():
+                        result = method(*args, **kwargs)
+                    clock.charge(
+                        model.compute_overhead_s(clock.real_s - before), "sgx_epc_compute"
+                    )
+                finally:
+                    self._platform.epc.free(epc_handle)
+                bytes_out = estimate_bytes(result)
+                clock.charge(model.marshalling_overhead_s(bytes_out), "sgx_marshalling")
+            else:
                 with clock.measure_real():
                     result = method(*args, **kwargs)
-                clock.charge(
-                    model.compute_overhead_s(clock.real_s - before), "sgx_epc_compute"
-                )
-            finally:
-                self._platform.epc.free(epc_handle)
-            bytes_out = estimate_bytes(result)
-            clock.charge(model.marshalling_overhead_s(bytes_out), "sgx_marshalling")
-        else:
-            with clock.measure_real():
-                result = method(*args, **kwargs)
-            bytes_out = estimate_bytes(result)
-        self.side_channel.record("ecall", name, bytes_in=bytes_in, bytes_out=bytes_out)
+                bytes_out = estimate_bytes(result)
+            span.attrs["bytes_out"] = bytes_out
+            self.side_channel.record(
+                "ecall", name, bytes_in=bytes_in, bytes_out=bytes_out
+            )
         return result
 
     def create_report(self, user_data: bytes) -> "Report":
@@ -229,6 +241,9 @@ class SgxPlatform:
             platform_secret if platform_secret is not None else os.urandom(32)
         )
         self.epc = EpcManager(self.cost_model, self.clock)
+        # One tracer per machine: pipeline/stage spans opened by the host
+        # and the ecall spans recorded at the trusted boundary nest in it.
+        self.tracer = Tracer(self.clock)
         self._enclaves: list[EnclaveHandle] = []
 
     @property

@@ -12,6 +12,8 @@ from repro.bench import Summary, measure_repeated, measure_simulated, t_quantile
 from repro.errors import ReproError
 from repro.sgx.clock import SimClock
 
+_T_96_NORMAL_FLOOR = 2.054
+
 
 class TestTQuantile:
     def test_known_values(self):
@@ -22,7 +24,18 @@ class TestTQuantile:
         assert t_quantile_96(10) > t_quantile_96(11) > t_quantile_96(12)
 
     def test_large_df_approaches_normal(self):
-        assert t_quantile_96(10_000) == pytest.approx(2.054)
+        assert t_quantile_96(10_000) == pytest.approx(2.054, abs=1e-3)
+        assert t_quantile_96(10_000_000) == pytest.approx(2.054, abs=1e-6)
+
+    def test_no_drop_at_df_120_boundary(self):
+        """Regression: df=121 used to jump to the normal limit (2.054),
+        *below* the tabulated df=120 value (2.076)."""
+        assert t_quantile_96(121) < t_quantile_96(120)
+        assert t_quantile_96(121) > 2.054
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_monotone_decreasing_everywhere(self, df):
+        assert t_quantile_96(df) >= t_quantile_96(df + 1) >= _T_96_NORMAL_FLOOR
 
     def test_rejects_zero_df(self):
         with pytest.raises(ReproError):

@@ -109,6 +109,25 @@ class TestRingOps:
         via_ntt = ring.intt(ring.pointwise_mul(ring.ntt(a), ring.ntt(b)))
         assert np.array_equal(via_ntt, ring.mul(a, b))
 
+    def test_reduce_sum_matches_add_fold(self, ring, rng):
+        batch = ring.sample_uniform(rng, 5, 3)
+        folded = batch[0]
+        for i in range(1, 5):
+            folded = ring.add(folded, batch[i])
+        assert np.array_equal(ring.reduce_sum(batch, axis=0), folded)
+
+    def test_reduce_sum_inner_axis(self, ring, rng):
+        batch = ring.sample_uniform(rng, 2, 4)
+        out = ring.reduce_sum(batch, axis=1)
+        assert out.shape == (2, ring.k, ring.n)
+        assert np.array_equal(out[0], ring.reduce_sum(batch[0], axis=0))
+
+    def test_reduce_sum_rejects_residue_axes(self, ring, rng):
+        batch = ring.sample_uniform(rng, 3)
+        for axis in (-1, -2, 1, 2):
+            with pytest.raises(ParameterError):
+                ring.reduce_sum(batch, axis=axis)
+
 
 class TestSampling:
     def test_ternary_values(self, ring, rng):

@@ -1,0 +1,48 @@
+"""Fixtures for the observability tests: a tiny trained deployment.
+
+Mirrors ``tests/core/conftest.py`` (session-scoped, read-only models) so the
+reconciliation tests can run every pipeline variant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import parameters_for_pipeline, train_paper_models
+
+
+@pytest.fixture(scope="session")
+def models():
+    return train_paper_models(
+        train_size=300, test_size=60, epochs=4, image_size=10, channels=2, kernel_size=3
+    )
+
+
+@pytest.fixture(scope="session")
+def q_sigmoid(models):
+    return models.quantized_sigmoid()
+
+
+@pytest.fixture(scope="session")
+def q_square(models):
+    return models.quantized_square()
+
+
+@pytest.fixture(scope="session")
+def hybrid_params(q_sigmoid):
+    return parameters_for_pipeline(q_sigmoid, 256)
+
+
+@pytest.fixture(scope="session")
+def pure_he_params(q_square):
+    return parameters_for_pipeline(q_square, 256)
+
+
+@pytest.fixture(scope="session")
+def batching_params(q_sigmoid):
+    return parameters_for_pipeline(q_sigmoid, 256, batching=True)
+
+
+@pytest.fixture(scope="session")
+def test_images(models):
+    return models.dataset.test_images[:2]
