@@ -15,9 +15,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import (
-    HybridPipeline,
+    build_pipeline,
     PlaintextPipeline,
-    parameters_for_pipeline,
     train_paper_models,
 )
 
@@ -30,13 +29,13 @@ def main() -> None:
     )
     quantized = models.quantized_sigmoid()
 
-    print("\n== 2. Size FV parameters for the hybrid circuit ==")
-    params = parameters_for_pipeline(quantized, poly_degree=1024)
-    print(f"   {params.describe()}")
+    print("\n== 2-3. Deploy behind the unified factory ==")
+    # build_pipeline auto-sizes FV parameters for the scheme; any alias from
+    # repro.core.SCHEME_ALIASES works ("hybrid", "encryptsgx", "simd", ...).
+    pipeline = build_pipeline("encryptsgx", quantized, poly_degree=1024, seed=7)
+    print(f"   scheme: {pipeline.scheme}")
+    print(f"   {pipeline.params.describe()}")
     print(f"   model needs t >= {quantized.required_plain_modulus()}")
-
-    print("\n== 3. Deploy: enclave keygen, attested key delivery, weight encoding ==")
-    pipeline = HybridPipeline(quantized, params, seed=7)
     print(f"   enclave measurement: {pipeline.enclave.measurement.mrenclave[:16]}...")
 
     print("\n== 4. Encrypted inference on 4 held-out digits ==")

@@ -13,6 +13,8 @@ Public surface:
   :class:`RefreshPolicy` (Table V relinearization-vs-refresh choice).
 * :func:`parameters_for_pipeline` / :func:`train_paper_models` -- sizing and
   model factories.
+* The unified pipeline API: :class:`InferencePipeline` (the protocol every
+  pipeline satisfies) and :func:`build_pipeline` (scheme-name factory).
 """
 
 from repro.core.config import (
@@ -27,8 +29,10 @@ from repro.core.enclave_service import ACTIVATIONS, InferenceEnclave
 from repro.core.heops import (
     EncodedConvWeights,
     EncodedDenseWeights,
+    EncodedModel,
     encode_conv_weights,
     encode_dense_weights,
+    encode_model_weights,
     he_conv2d,
     he_dense,
     he_scaled_mean_pool,
@@ -41,6 +45,12 @@ from repro.core.keyflow import (
     TrustedThirdParty,
     UserClient,
     establish_user_keys,
+)
+from repro.core.pipeline import (
+    SCHEME_ALIASES,
+    InferencePipeline,
+    build_pipeline,
+    resolve_scheme,
 )
 from repro.core.placement import (
     MeasuredChoice,
@@ -70,11 +80,14 @@ __all__ = [
     "EdgeServer",
     "EncodedConvWeights",
     "EncodedDenseWeights",
+    "EncodedModel",
     "FloatPipeline",
     "HybridPipeline",
     "InferenceEnclave",
+    "InferencePipeline",
     "InferenceResult",
     "MODES",
+    "SCHEME_ALIASES",
     "MeasuredChoice",
     "PlaintextPipeline",
     "PoolStrategy",
@@ -90,8 +103,10 @@ __all__ = [
     "TrainedModels",
     "TrustedThirdParty",
     "UserClient",
+    "build_pipeline",
     "encode_conv_weights",
     "encode_dense_weights",
+    "encode_model_weights",
     "establish_user_keys",
     "he_conv2d",
     "he_dense",
@@ -104,6 +119,7 @@ __all__ = [
     "refresh",
     "relinearize_refresh",
     "required_budget_bits",
+    "resolve_scheme",
     "sgx_refresh",
     "sgx_refresh_one_by_one",
     "stages_from_trace",

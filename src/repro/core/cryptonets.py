@@ -83,19 +83,9 @@ class CryptonetsPipeline:
         self.encryptor = Encryptor(self.context, self._keys.public, rng)
         self.decryptor = Decryptor(self.context, self._keys.secret)
         # Weight encoding happens once, ahead of service (Section IV-B).
-        self.conv_weights = heops.encode_conv_weights(
-            self.evaluator,
-            self.encoder,
-            quantized.conv_weight,
-            quantized.conv_bias,
-            quantized.stride,
-        )
-        self.dense_weights = heops.encode_dense_weights(
-            self.evaluator,
-            self.encoder,
-            quantized.dense_weight,
-            quantized.dense_bias,
-        )
+        encoded = heops.encode_model_weights(self.evaluator, self.encoder, quantized)
+        self.conv_weights = encoded.conv
+        self.dense_weights = encoded.dense
 
     def encrypt_images(self, images: np.ndarray):
         """User side: one ciphertext per pixel (the paper's non-SIMD encoding)."""

@@ -199,8 +199,8 @@ class InferenceEnclave(Enclave):
         self._load_crypto_state()
         codec = self._batch_encoder()
         plain = self._decryptor.decrypt(ct)
-        slots = codec.decode(plain)  # (1, C, H, W, n)
-        values = np.moveaxis(slots[0], -1, 0).astype(np.float64)  # (n, C, H, W)
+        # (n, C, H, W): every slot is one user's feature map.
+        values = codec.decode_batch_axis(plain, codec.slot_count).astype(np.float64)
         activated = self._apply_activation(values / input_scale, activation)
         if pool == "max":
             pooled = _max_pool(activated, window)
@@ -209,8 +209,44 @@ class InferenceEnclave(Enclave):
         else:
             raise PipelineError(f"unsupported enclave pool {pool!r}")
         requantized = np.rint(pooled * output_scale).astype(np.int64)
-        packed = np.moveaxis(requantized, 0, -1)[None, ...]  # (1, C, h, w, n)
-        return self._encryptor.encrypt(codec.encode(packed))
+        return self._encryptor.encrypt(codec.encode_batch_axis(requantized))
+
+    @ecall
+    def pack_slots(self, ct: Ciphertext, batch: int) -> Ciphertext:
+        """Convert a *coefficient-packed* ciphertext into a slot-packed
+        ``(1, ...)`` ciphertext with request row ``b`` in CRT slot ``b``.
+
+        The host pre-folds the ``batch`` stacked requests into polynomial
+        coefficients homomorphically
+        (:func:`~repro.he.batching.pack_coefficients`), so only one
+        ciphertext per tensor position crosses the boundary and is decrypted
+        here -- the trusted side merely re-reads coefficients ``0..batch-1``
+        and re-encodes them into slots.
+
+        This is the serving scheduler's batch-formation step: because the
+        enclave is the key authority, every enrolled user's ciphertext is
+        under the same key pair, so requests from different users may legally
+        share slots.  The re-layout happens entirely inside trusted code --
+        nothing is exposed to the host in the clear.
+        """
+        if batch < 1 or batch > self._context.poly_degree:
+            raise PipelineError(
+                f"batch must be in [1, {self._context.poly_degree}], got {batch}"
+            )
+        self._load_crypto_state()
+        plain = self._decryptor.decrypt(ct)
+        values = np.moveaxis(plain.signed_coeffs()[..., :batch], -1, 0)
+        return self._encryptor.encrypt(self._batch_encoder().encode_batch_axis(values))
+
+    @ecall
+    def unpack_slots(self, ct: Ciphertext, batch: int) -> Ciphertext:
+        """Inverse of :meth:`pack_slots`: split a slot-packed ``(1, ...)``
+        ciphertext back into a scalar-encoded ``(batch, ...)`` ciphertext so
+        each request's encrypted logits can be returned individually."""
+        self._load_crypto_state()
+        plain = self._decryptor.decrypt(ct)
+        values = self._batch_encoder().decode_batch_axis(plain, batch)
+        return self._encrypt_values(values)
 
     def _batch_encoder(self):
         if getattr(self, "_batch_encoder_cache", None) is None:

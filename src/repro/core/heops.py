@@ -62,6 +62,38 @@ class EncodedDenseWeights:
         return len(self.operands)
 
 
+class EncodedModel:
+    """A quantized CNN's full NTT-precomputed operand set.
+
+    One object per provisioned model: the conv and dense operand tables
+    every pipeline (hybrid, SIMD, CryptoNets, the serving scheduler) reuses
+    across inferences.
+    """
+
+    def __init__(self, conv: EncodedConvWeights, dense: EncodedDenseWeights) -> None:
+        self.conv = conv
+        self.dense = dense
+
+
+def encode_model_weights(
+    evaluator: Evaluator, encoder: ScalarEncoder, quantized
+) -> EncodedModel:
+    """Encode a quantized model's conv + FC weights once (Section IV-B).
+
+    ``quantized`` is any object with ``conv_weight`` / ``conv_bias`` /
+    ``stride`` / ``dense_weight`` / ``dense_bias`` (a
+    :class:`~repro.nn.quantize.QuantizedCNN`).
+    """
+    conv = encode_conv_weights(
+        evaluator, encoder, quantized.conv_weight, quantized.conv_bias,
+        quantized.stride,
+    )
+    dense = encode_dense_weights(
+        evaluator, encoder, quantized.dense_weight, quantized.dense_bias
+    )
+    return EncodedModel(conv, dense)
+
+
 def encode_conv_weights(
     evaluator: Evaluator,
     encoder: ScalarEncoder,

@@ -124,19 +124,9 @@ class HybridPipeline:
         self.decryptor = Decryptor(self.context, user_keys.secret)
 
         # Weights are encoded once and stay outside the enclave (Section IV-B).
-        self.conv_weights = heops.encode_conv_weights(
-            self.evaluator,
-            self.encoder,
-            quantized.conv_weight,
-            quantized.conv_bias,
-            quantized.stride,
-        )
-        self.dense_weights = heops.encode_dense_weights(
-            self.evaluator,
-            self.encoder,
-            quantized.dense_weight,
-            quantized.dense_bias,
-        )
+        encoded = heops.encode_model_weights(self.evaluator, self.encoder, quantized)
+        self.conv_weights = encoded.conv
+        self.dense_weights = encoded.dense
 
     # ------------------------------------------------------------------
     def encrypt_images(self, images: np.ndarray) -> Ciphertext:

@@ -1,0 +1,139 @@
+"""The unified pipeline API: one protocol, one factory.
+
+The five inference pipelines (plaintext reference, pure-HE CryptoNets
+baseline, hybrid HE+SGX, slot-packed SIMD hybrid, multi-block deep hybrid)
+grew the same surface by convention -- a ``scheme`` label, ``infer(images)``
+returning an :class:`~repro.core.results.InferenceResult`, and
+``encrypt_images``.  :class:`InferencePipeline` makes that contract explicit
+(FHEON-style: a configurable, uniform API is what lets optimizations like the
+serving scheduler land once instead of being forked per variant), and
+:func:`build_pipeline` is the single entry point that maps a scheme name to a
+configured pipeline, auto-sizing FV parameters when none are supplied.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.config import parameters_for_pipeline
+from repro.core.cryptonets import CryptonetsPipeline
+from repro.core.deep import DeepHybridPipeline
+from repro.core.hybrid import MODES, HybridPipeline
+from repro.core.plaintext import PlaintextPipeline
+from repro.core.results import InferenceResult
+from repro.core.simd import SimdHybridPipeline
+from repro.errors import PipelineError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.he.params import EncryptionParams
+
+
+@runtime_checkable
+class InferencePipeline(Protocol):
+    """What every inference pipeline exposes.
+
+    ``encrypt_images`` is the user-side step (for the plaintext reference it
+    degenerates to quantization); ``infer`` runs the full pipeline on raw
+    images and reports per-stage timing.  Code written against this protocol
+    runs unchanged over any scheme -- see ``examples/quickstart.py``.
+    """
+
+    scheme: str
+
+    def infer(self, images: np.ndarray) -> InferenceResult:
+        ...
+
+    def encrypt_images(self, images: np.ndarray):
+        ...
+
+
+#: Canonical scheme names (values) and their accepted aliases (keys).
+SCHEME_ALIASES = {
+    "plaintext": "plaintext",
+    "cryptonets": "cryptonets",
+    "encrypted": "cryptonets",
+    "hybrid": "hybrid",
+    "encryptsgx": "hybrid",
+    "simd": "simd",
+    "encryptsgx-simd": "simd",
+    "deep": "deep",
+}
+
+#: Keyword options each scheme's constructor understands.
+_SCHEME_OPTS = {
+    "plaintext": {"clock"},
+    "cryptonets": {"seed", "clock"},
+    "hybrid": {"platform", "mode", "seed"},
+    "simd": {"platform", "seed"},
+    "deep": {"platform", "seed"},
+}
+
+
+def resolve_scheme(scheme: str) -> str:
+    """Normalize a scheme name or alias to its canonical form."""
+    canonical = SCHEME_ALIASES.get(scheme.strip().lower())
+    if canonical is None:
+        raise PipelineError(
+            f"unknown pipeline scheme {scheme!r}; expected one of "
+            f"{sorted(set(SCHEME_ALIASES))}"
+        )
+    return canonical
+
+
+def build_pipeline(
+    scheme: str,
+    quantized,
+    params: "EncryptionParams | None" = None,
+    *,
+    poly_degree: int = 1024,
+    **opts,
+) -> InferencePipeline:
+    """Construct a configured pipeline for ``scheme``.
+
+    Args:
+        scheme: canonical name or alias (case-insensitive) from
+            :data:`SCHEME_ALIASES` -- ``plaintext``, ``cryptonets`` /
+            ``encrypted``, ``hybrid`` / ``encryptsgx``, ``simd``, ``deep``.
+        quantized: the integer model (a
+            :class:`~repro.nn.quantize.QuantizedCNN`, or a
+            :class:`~repro.nn.deep.DeepQuantizedCNN` for ``deep``).
+        params: FV parameters; when omitted, auto-sized with
+            :func:`~repro.core.config.parameters_for_pipeline` at
+            ``poly_degree`` (with a batching-capable plaintext modulus for
+            ``simd``).
+        poly_degree: degree used for auto-sizing (ignored when ``params`` is
+            given).
+        **opts: scheme-specific options -- ``mode`` (hybrid), ``platform``
+            (hybrid/simd/deep), ``seed``, ``clock`` (plaintext/cryptonets).
+
+    Raises:
+        PipelineError: unknown scheme, an option the scheme does not take,
+            or a model/parameter mismatch surfaced by the pipeline itself.
+    """
+    canonical = resolve_scheme(scheme)
+    allowed = _SCHEME_OPTS[canonical]
+    unknown = set(opts) - allowed
+    if unknown:
+        raise PipelineError(
+            f"scheme {canonical!r} does not take option(s) {sorted(unknown)}; "
+            f"allowed: {sorted(allowed)}"
+        )
+    if canonical == "hybrid" and opts.get("mode", "batched") not in MODES:
+        raise PipelineError(
+            f"mode must be one of {MODES}, got {opts['mode']!r}"
+        )
+    if canonical == "plaintext":
+        return PlaintextPipeline(quantized, clock=opts.get("clock"))
+    if params is None:
+        params = parameters_for_pipeline(
+            quantized, poly_degree, batching=(canonical == "simd")
+        )
+    if canonical == "cryptonets":
+        return CryptonetsPipeline(quantized, params, **opts)
+    if canonical == "hybrid":
+        return HybridPipeline(quantized, params, **opts)
+    if canonical == "simd":
+        return SimdHybridPipeline(quantized, params, **opts)
+    return DeepHybridPipeline(quantized, params, **opts)

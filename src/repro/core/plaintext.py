@@ -33,6 +33,13 @@ class PlaintextPipeline:
         self.clock = clock if clock is not None else SimClock()
         self.tracer = Tracer(self.clock)
 
+    def encrypt_images(self, images: np.ndarray) -> np.ndarray:
+        """Identity "encryption": the reference pipeline computes in the
+        clear, so this is just the quantization step.  Present so the class
+        satisfies the :class:`~repro.core.pipeline.InferencePipeline`
+        protocol and can stand in for an encrypted pipeline in tests."""
+        return self.quantized.quantize_images(images)
+
     def infer(self, images: np.ndarray) -> InferenceResult:
         with self.tracer.span(
             self.scheme, kind="pipeline", batch=int(images.shape[0])

@@ -17,13 +17,20 @@ This is the API a downstream integrator would embed::
     response = server.infer("digits", session.encrypt("digits", images))
     predictions = session.decrypt(response)
 
-(see ``examples/multi_user_service.py`` for the full runnable flow).
+For throughput, ``server.infer(name, ct, pack=True)`` routes through the
+:class:`~repro.serve.RequestScheduler`, which coalesces concurrent
+single-image requests into one CRT-slot-packed pipeline pass; load
+generators drive the scheduler directly via ``server.scheduler.submit`` /
+``pump`` / ``drain`` (see ``examples/multi_user_service.py`` for the full
+runnable flow).
 """
 
 from __future__ import annotations
 
-import pickle
+import json
+import struct
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -31,7 +38,8 @@ from repro.core import heops
 from repro.core.enclave_service import InferenceEnclave
 from repro.core.keyflow import SgxKeyDistribution, UserClient
 from repro.core.results import InferenceResult, stages_from_trace
-from repro.errors import PipelineError, SealingError
+from repro.errors import PipelineError, SealingError, UnknownModelError
+from repro.he import serialize as he_serialize
 from repro.he.context import Ciphertext, Context
 from repro.he.decryptor import Decryptor
 from repro.he.encoders import ScalarEncoder
@@ -42,6 +50,9 @@ from repro.nn.quantize import QuantizedCNN
 from repro.sgx.attestation import AttestationVerificationService, QuotingService
 from repro.sgx.enclave import SgxPlatform
 from repro.sgx.sealing import SealedBlob
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve import RequestScheduler, ServeConfig
 
 
 @dataclass
@@ -69,16 +80,74 @@ class UserSession:
     def _quantized(self, model_name: str) -> QuantizedCNN:
         quantized = self.quantized_by_model.get(model_name)
         if quantized is None:
-            raise PipelineError(f"unknown model {model_name!r}")
+            raise UnknownModelError(f"unknown model {model_name!r}")
         return quantized
 
 
 @dataclass
 class ServedResult:
-    """What the server returns: *encrypted* logits plus timing metadata."""
+    """What the server returns: *encrypted* logits plus timing metadata.
+
+    Requests served through the packing scheduler additionally carry their
+    serving metadata: ``request_id``, the total ``packed_batch`` they shared
+    slots with, and the simulated seconds spent coalescing
+    (``queue_wait_s``).  Direct ``infer`` calls leave these at defaults.
+    """
 
     logits_ct: Ciphertext
     timing: InferenceResult
+    request_id: int | None = None
+    packed_batch: int = 0
+    queue_wait_s: float = 0.0
+
+
+def _pack_model_payload(name: str, quantized: QuantizedCNN) -> bytes:
+    """Serialize a named model pickle-free: JSON metadata header (scalars)
+    plus the library's int64 wire format for the weight arrays, so that
+    nothing executable ever round-trips through sealed storage."""
+    meta = json.dumps(
+        {
+            "name": name,
+            "input_scale": int(quantized.input_scale),
+            "conv_weight_scale": float(quantized.conv_weight_scale),
+            "dense_weight_scale": float(quantized.dense_weight_scale),
+            "act_scale": int(quantized.act_scale),
+            "activation": quantized.activation,
+            "pool": quantized.pool,
+            "pool_window": int(quantized.pool_window),
+            "stride": int(quantized.stride),
+        }
+    ).encode("utf-8")
+    arrays = he_serialize.serialize_int64_arrays(
+        [
+            quantized.conv_weight,
+            quantized.conv_bias,
+            quantized.dense_weight,
+            quantized.dense_bias,
+        ]
+    )
+    return struct.pack("<I", len(meta)) + meta + arrays
+
+
+def _unpack_model_payload(payload: bytes) -> tuple[str, QuantizedCNN]:
+    (meta_len,) = struct.unpack_from("<I", payload, 0)
+    meta = json.loads(payload[4 : 4 + meta_len].decode("utf-8"))
+    arrays, _ = he_serialize.deserialize_int64_arrays(payload[4 + meta_len :])
+    quantized = QuantizedCNN(
+        conv_weight=arrays[0],
+        conv_bias=arrays[1],
+        dense_weight=arrays[2],
+        dense_bias=arrays[3],
+        input_scale=meta["input_scale"],
+        conv_weight_scale=meta["conv_weight_scale"],
+        dense_weight_scale=meta["dense_weight_scale"],
+        act_scale=meta["act_scale"],
+        activation=meta["activation"],
+        pool=meta["pool"],
+        pool_window=meta["pool_window"],
+        stride=meta["stride"],
+    )
+    return meta["name"], quantized
 
 
 class EdgeServer:
@@ -88,6 +157,8 @@ class EdgeServer:
         params: FV parameter set all hosted models share.
         platform: simulated SGX machine (fresh by default).
         seed: reproducible randomness for keygen and encryption.
+        serve_config: policy for the packing scheduler (defaults apply when
+            omitted); the scheduler itself is created lazily on first use.
     """
 
     def __init__(
@@ -95,6 +166,7 @@ class EdgeServer:
         params: EncryptionParams,
         platform: SgxPlatform | None = None,
         seed: int | None = None,
+        serve_config: "ServeConfig | None" = None,
     ) -> None:
         self.params = params
         self.platform = platform if platform is not None else SgxPlatform()
@@ -109,7 +181,9 @@ class EdgeServer:
         self.evaluator = Evaluator(self.context, self.counter)
         self.encoder = ScalarEncoder(self.context)
         self._models: dict[str, QuantizedCNN] = {}
-        self._encoded: dict[str, tuple] = {}
+        self._encoded: dict[str, heops.EncodedModel] = {}
+        self._serve_config = serve_config
+        self._scheduler: "RequestScheduler | None" = None
 
     # ------------------------------------------------------------------
     # model provisioning
@@ -125,26 +199,21 @@ class EdgeServer:
             raise PipelineError(
                 f"model {name!r} needs t >= {quantized.required_plain_modulus()}"
             )
-        conv = heops.encode_conv_weights(
-            self.evaluator, self.encoder, quantized.conv_weight,
-            quantized.conv_bias, quantized.stride,
-        )
-        dense = heops.encode_dense_weights(
-            self.evaluator, self.encoder, quantized.dense_weight, quantized.dense_bias
-        )
         self._models[name] = quantized
-        self._encoded[name] = (conv, dense)
+        self._encoded[name] = heops.encode_model_weights(
+            self.evaluator, self.encoder, quantized
+        )
 
     def seal_model(self, name: str) -> SealedBlob:
         """Persist a provisioned model as a sealed blob for untrusted storage.
 
         Only an enclave with the same MRENCLAVE on the same platform can
         recover it -- the paper's "deployed in the edge server securely"
-        assumption made concrete.
+        assumption made concrete.  The payload is pickle-free (JSON metadata
+        plus the library's int64 wire format).
         """
         quantized = self._require_model(name)
-        payload = pickle.dumps((name, quantized))
-        return self.enclave._instance.seal(payload)
+        return self.enclave.seal(_pack_model_payload(name, quantized))
 
     def restore_model(self, blob: SealedBlob) -> str:
         """Unseal and re-provision a model (e.g. after an enclave restart).
@@ -154,15 +223,24 @@ class EdgeServer:
                 or was tampered with.
         """
         try:
-            payload = self.enclave._instance.unseal(blob)
+            payload = self.enclave.unseal(blob)
         except SealingError:
             raise
-        name, quantized = pickle.loads(payload)
+        name, quantized = _unpack_model_payload(payload)
         self.provision_model(name, quantized)
         return name
 
     def models(self) -> list[str]:
         return sorted(self._models)
+
+    def model(self, name: str) -> QuantizedCNN:
+        """The provisioned quantized model, or :class:`UnknownModelError`."""
+        return self._require_model(name)
+
+    def encoded_model(self, name: str) -> heops.EncodedModel:
+        """The pre-encoded HE weights for a provisioned model."""
+        self._require_model(name)
+        return self._encoded[name]
 
     # ------------------------------------------------------------------
     # user enrollment (Fig. 2 key delivery)
@@ -193,10 +271,57 @@ class EdgeServer:
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
-    def infer(self, model_name: str, ct: Ciphertext) -> ServedResult:
-        """Run the hybrid pipeline on encrypted pixels; logits stay encrypted."""
+    @property
+    def scheduler(self) -> "RequestScheduler":
+        """The server's packing scheduler (created lazily; requires a
+        batching-capable parameter set)."""
+        if self._scheduler is None:
+            from repro.serve import RequestScheduler
+
+            self._scheduler = RequestScheduler(self, self._serve_config)
+        return self._scheduler
+
+    def infer(
+        self,
+        model_name: str,
+        ct: Ciphertext,
+        *,
+        pack: bool = False,
+        deadline_ms: float | None = None,
+    ) -> ServedResult:
+        """Run the hybrid pipeline on encrypted pixels; logits stay encrypted.
+
+        Args:
+            model_name: a provisioned model.
+            ct: scalar-encoded ``(B, C, H, W)`` pixel ciphertext from
+                :meth:`UserSession.encrypt`.
+            pack: route through the slot-packing scheduler.  This call stays
+                synchronous (it drains the model's bucket if the submission
+                did not already fill a batch); concurrent callers that
+                submitted earlier ride the same flush and share its HE cost.
+            deadline_ms: coalescing deadline in simulated milliseconds,
+                recorded on the queued request (requires ``pack=True``).
+                Only meaningful to load generators that also call
+                ``scheduler.pump()``; the synchronous facade drains
+                immediately.
+
+        Note:
+            The bare positional form ``infer(name, ct)`` runs the legacy
+            one-request-per-pass path and remains supported for existing
+            callers; new integrations that care about throughput should pass
+            ``pack=True`` or drive :attr:`scheduler` directly.
+        """
+        if deadline_ms is not None and not pack:
+            raise PipelineError("deadline_ms is only meaningful with pack=True")
+        if pack:
+            deadline_s = None if deadline_ms is None else deadline_ms / 1000.0
+            response = self.scheduler.submit(model_name, ct, deadline_s=deadline_s)
+            if not response.done():
+                self.scheduler.drain(model_name)
+            return response.result()
+
         quantized = self._require_model(model_name)
-        conv_weights, dense_weights = self._encoded[model_name]
+        encoded = self._encoded[model_name]
         tracer = self.platform.tracer
 
         def stage(name: str):
@@ -213,7 +338,7 @@ class EdgeServer:
             batch=int(ct.batch_shape[0]),
         ) as trace:
             with stage("conv"):
-                conv = heops.he_conv2d(self.evaluator, self.encoder, ct, conv_weights)
+                conv = heops.he_conv2d(self.evaluator, self.encoder, ct, encoded.conv)
 
             with stage("sgx_activation_pool"):
                 hidden = self.enclave.ecall(
@@ -228,11 +353,11 @@ class EdgeServer:
 
             with stage("fc"):
                 logits_ct = heops.he_dense(
-                    self.evaluator, self.encoder, hidden, dense_weights
+                    self.evaluator, self.encoder, hidden, encoded.dense
                 )
 
         timing = InferenceResult(
-            logits=np.zeros((ct.batch_shape[0], dense_weights.out_features)),
+            logits=np.zeros((ct.batch_shape[0], encoded.dense.out_features)),
             stages=stages_from_trace(trace),
             scheme="EdgeServer/EncryptSGX",
             op_counts=dict(self.counter.counts),
@@ -244,7 +369,7 @@ class EdgeServer:
     def _require_model(self, name: str) -> QuantizedCNN:
         quantized = self._models.get(name)
         if quantized is None:
-            raise PipelineError(
+            raise UnknownModelError(
                 f"unknown model {name!r}; provisioned: {self.models()}"
             )
         return quantized

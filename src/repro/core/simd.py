@@ -54,22 +54,19 @@ class SlotCodec:
     def encode(self, values: np.ndarray):
         if values.ndim != 4:
             raise PipelineError("SlotCodec expects (B, C, H, W) integer values")
-        b = values.shape[0]
-        if b > self.slot_count:
+        if values.shape[0] > self.slot_count:
             raise PipelineError(
-                f"batch of {b} exceeds the {self.slot_count} available slots"
+                f"batch of {values.shape[0]} exceeds the {self.slot_count} "
+                "available slots"
             )
-        slotted = np.moveaxis(values, 0, -1)  # (C, H, W, B)
-        return self.encoder.encode(slotted[None, ...])
+        return self.encoder.encode_batch_axis(values)
 
     def decode(self, plain, batch: int) -> np.ndarray:
-        slots = self.encoder.decode(plain)  # (1, C, H, W, n)
-        return np.moveaxis(slots[0, ..., :batch], -1, 0)
+        return self.encoder.decode_batch_axis(plain, batch)
 
     def decode_flat(self, plain, batch: int) -> np.ndarray:
         """Decode a ``(1, D)``-batched plaintext into ``(B, D)`` values."""
-        slots = self.encoder.decode(plain)  # (1, D, n)
-        return np.moveaxis(slots[0, ..., :batch], -1, 0)
+        return self.encoder.decode_batch_axis(plain, batch)
 
 
 class SimdHybridPipeline:
@@ -125,13 +122,9 @@ class SimdHybridPipeline:
         self.encoder = ScalarEncoder(self.context)
         self.encryptor = Encryptor(self.context, user_keys.public, np.random.default_rng(seed))
         self.decryptor = Decryptor(self.context, user_keys.secret)
-        self.conv_weights = heops.encode_conv_weights(
-            self.evaluator, self.encoder, quantized.conv_weight,
-            quantized.conv_bias, quantized.stride,
-        )
-        self.dense_weights = heops.encode_dense_weights(
-            self.evaluator, self.encoder, quantized.dense_weight, quantized.dense_bias
-        )
+        encoded = heops.encode_model_weights(self.evaluator, self.encoder, quantized)
+        self.conv_weights = encoded.conv
+        self.dense_weights = encoded.dense
 
     @property
     def slot_count(self) -> int:

@@ -54,3 +54,30 @@ class ModelError(ReproError, ValueError):
 
 class PipelineError(ReproError, RuntimeError):
     """A privacy-preserving inference pipeline was misused or misconfigured."""
+
+
+class ServeError(PipelineError):
+    """Base class for request-scheduler failures (``repro.serve``).
+
+    Derives from :class:`PipelineError` so existing callers that guard the
+    serving facade with ``except PipelineError`` keep working.
+    """
+
+
+class UnknownModelError(ServeError, KeyError):
+    """A request named a model the edge server has not provisioned."""
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep the message
+        return RuntimeError.__str__(self)
+
+
+class QueueFullError(ServeError):
+    """The scheduler's bounded queue rejected a request (backpressure)."""
+
+
+class BatchTooLargeError(ServeError):
+    """A single request exceeds the scheduler's slot-packing capacity."""
+
+
+class ResponseNotReady(ServeError):
+    """A pending response was read before its batch was flushed."""

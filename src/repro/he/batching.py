@@ -13,11 +13,16 @@ The slot isomorphism is realized by the negacyclic NTT modulo ``t``:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.errors import EncodingError
-from repro.he.context import Context, Plaintext
+from repro.he.context import Ciphertext, Context, Plaintext
 from repro.he.ntt import NttPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.he.evaluator import Evaluator
 
 
 class BatchEncoder:
@@ -65,3 +70,71 @@ class BatchEncoder:
         slots = self._plan.forward(plain.coeffs)
         t = self.context.plain_modulus
         return np.where(slots > t // 2, slots - t, slots)
+
+    def encode_batch_axis(self, values: np.ndarray) -> Plaintext:
+        """Pack axis 0 into the slots: ``(B, *rest)`` values become a
+        ``(1, *rest)`` plaintext batch whose slot ``b`` carries row ``b``.
+
+        This is the canonical cross-user packing layout: every pipeline
+        position costs one plaintext/ciphertext regardless of ``B``.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        if values.ndim < 1:
+            raise EncodingError("encode_batch_axis expects a leading batch axis")
+        if values.shape[0] > self.slot_count:
+            raise EncodingError(
+                f"batch of {values.shape[0]} exceeds the {self.slot_count} "
+                "available slots"
+            )
+        return self.encode(np.moveaxis(values, 0, -1)[None, ...])
+
+    def decode_batch_axis(self, plain: Plaintext, batch: int) -> np.ndarray:
+        """Inverse of :meth:`encode_batch_axis`: recover the leading ``batch``
+        rows from a ``(1, *rest)`` slot-packed plaintext batch."""
+        if batch < 1 or batch > self.slot_count:
+            raise EncodingError(
+                f"batch must be in [1, {self.slot_count}], got {batch}"
+            )
+        slots = self.decode(plain)  # (1, *rest, n)
+        if slots.shape[0] != 1:
+            raise EncodingError(
+                "decode_batch_axis expects a (1, *rest) slot-packed plaintext "
+                f"batch, got leading axis {slots.shape[0]}"
+            )
+        return np.moveaxis(slots[0], -1, 0)[:batch]
+
+
+def pack_coefficients(evaluator: "Evaluator", ct: Ciphertext) -> Ciphertext:
+    """Fold a ciphertext's leading batch axis into polynomial *coefficients*.
+
+    Given scalar-encoded ciphertexts stacked along axis 0 (``(B, *rest)``,
+    value in the constant coefficient), homomorphically computes
+    ``sum_b ct[b] * x^b`` -- a ``(*rest,)`` ciphertext whose underlying
+    plaintext carries value ``b`` in coefficient ``b``.  Pure host-side
+    ``C x P`` / ``C + C`` work: no key material, no decryption.
+
+    This is the cheap half of scalar->SIMD conversion: it shrinks the
+    payload an enclave must decrypt for slot packing by the factor ``B``
+    (both bytes crossed and ciphertexts decrypted), leaving the trusted side
+    only one ciphertext per tensor position.  Noise grows by at most
+    ``log2(B)`` bits (monomial coefficients are 1), which a fresh encryption
+    easily absorbs.
+
+    Raises:
+        EncodingError: no batch axis, or ``B`` exceeds the ring degree.
+    """
+    if not ct.batch_shape:
+        raise EncodingError("pack_coefficients expects a leading batch axis")
+    b = ct.batch_shape[0]
+    n = ct.context.poly_degree
+    if b > n:
+        raise EncodingError(f"batch of {b} exceeds the ring degree {n}")
+    monomials = np.zeros((b, n), dtype=np.int64)
+    monomials[np.arange(b), np.arange(b)] = 1
+    operand = evaluator.transform_plain(Plaintext(ct.context, monomials))
+    # Broadcast the (B,)-batched monomial operand over the remaining axes.
+    ntt = operand.ntt_data.reshape(
+        b, *([1] * (len(ct.batch_shape) - 1)), *operand.ntt_data.shape[-2:]
+    )
+    shifted = evaluator.multiply_plain(ct, type(operand)(ct.context, ntt))
+    return evaluator.sum_batch(shifted, axis=0)

@@ -22,6 +22,7 @@ _KIND_SECRET = 1
 _KIND_PUBLIC = 2
 _KIND_RELIN = 3
 _KIND_CIPHER = 4
+_KIND_ARRAYS = 5
 
 
 def _pack(kind: int, arrays: list[np.ndarray], extra: int = 0) -> bytes:
@@ -79,6 +80,21 @@ def serialize_relin_keys(keys: RelinKeys) -> bytes:
 def deserialize_relin_keys(data: bytes, context: Context) -> RelinKeys:
     arrays, extra = _unpack(data, _KIND_RELIN)
     return RelinKeys(context, arrays[0], arrays[1], decomposition_bits=extra)
+
+
+def serialize_int64_arrays(arrays: list[np.ndarray], extra: int = 0) -> bytes:
+    """Pack a list of int64 arrays in the library's wire format.
+
+    For payloads that cross a trust boundary but are not key material --
+    e.g. a quantized model inside a sealed blob -- so that no ``pickle``
+    deserialization ever runs on untrusted bytes.
+    """
+    return _pack(_KIND_ARRAYS, arrays, extra=extra)
+
+
+def deserialize_int64_arrays(data: bytes) -> tuple[list[np.ndarray], int]:
+    """Inverse of :func:`serialize_int64_arrays`; returns ``(arrays, extra)``."""
+    return _unpack(data, _KIND_ARRAYS)
 
 
 def serialize_ciphertext(ct: Ciphertext) -> bytes:

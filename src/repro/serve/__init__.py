@@ -1,0 +1,24 @@
+"""Serving layer: slot-packed scheduling of concurrent encrypted requests.
+
+See :mod:`repro.serve.scheduler` for the design notes -- the short version:
+requests for the same model coalesce into one CRT-slot-packed hybrid
+pipeline pass (legal because the enclave is the key authority, so every
+enrolled user shares its key pair), with bounded-queue backpressure, a
+simulated-clock coalescing window, and per-request tracing spans.
+"""
+
+from repro.serve.scheduler import (
+    PACKED_SCHEME,
+    PendingResponse,
+    RequestScheduler,
+    ServeConfig,
+    ServeStats,
+)
+
+__all__ = [
+    "PACKED_SCHEME",
+    "PendingResponse",
+    "RequestScheduler",
+    "ServeConfig",
+    "ServeStats",
+]

@@ -1,0 +1,417 @@
+"""Slot-packed request scheduling: the edge server's serving layer.
+
+The paper's deployment story (Sections IV + VII) is one SGX edge node
+serving many enrolled users, yet a naive facade runs one hybrid pipeline
+pass per request -- every single-image inference pays the full per-pixel
+HE cost.  CRT slot packing (Section VIII) is the throughput lever: up to
+``n`` images can ride the slots of each pixel-position ciphertext, making
+the encrypted CNN's cost independent of how many requests share the batch.
+
+This scheduler turns that lever into a serving discipline:
+
+* **Coalescing.**  Concurrent requests for the same model accumulate in a
+  per-model bucket and are flushed as ONE slot-packed pipeline pass when the
+  bucket reaches slot capacity, when the oldest request's deadline expires
+  (:meth:`RequestScheduler.pump`), or on explicit
+  :meth:`~RequestScheduler.drain`.
+* **Legality.**  Cross-user packing is sound in this deployment because the
+  enclave is the HE key authority (Section IV-A): every enrolled user holds
+  the same key pair, so their ciphertexts are mutually compatible.  The
+  actual re-layout (scalar batch -> slots, and back) happens inside the
+  enclave (:meth:`InferenceEnclave.pack_slots` / ``unpack_slots``) -- the
+  host never sees a pixel or logit in the clear.
+* **Backpressure.**  The queue is bounded; a full queue rejects new work
+  with :class:`~repro.errors.QueueFullError` instead of buffering without
+  limit.  Unknown models and requests larger than the packing capacity are
+  likewise rejected up front with typed errors.
+* **Observability.**  Every flush emits an ``EdgeServer/PackedServe``
+  pipeline span (pack -> conv -> sgx_activation_pool -> fc -> unpack) plus
+  one ``serve/request`` child span per request carrying its queue wait and
+  the queue depth it observed at submit, all on the platform's
+  :class:`~repro.obs.Tracer`.
+
+Timing is in *simulated* seconds (:class:`~repro.sgx.clock.SimClock`), the
+repository's timing currency -- deadlines are therefore deterministic and
+testable without real sleeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core import heops
+from repro.core.results import InferenceResult, stages_from_trace
+from repro.errors import (
+    BatchTooLargeError,
+    QueueFullError,
+    ResponseNotReady,
+    ServeError,
+    UnknownModelError,
+)
+from repro.he.batching import pack_coefficients
+from repro.he.context import Ciphertext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.server import EdgeServer, ServedResult
+
+#: Scheme label stamped on packed-flush traces and results.
+PACKED_SCHEME = "EdgeServer/PackedServe"
+
+
+@dataclass
+class ServeConfig:
+    """Scheduler policy knobs.
+
+    Attributes:
+        max_queue_depth: bound on queued (unflushed) requests across all
+            models; submissions beyond it raise
+            :class:`~repro.errors.QueueFullError`.
+        max_batch: images per packed flush; ``None`` means the full CRT slot
+            capacity (the parameter set's polynomial degree).
+        window_s: default coalescing deadline in simulated seconds for
+            requests that do not specify one.
+    """
+
+    max_queue_depth: int = 64
+    max_batch: int | None = None
+    window_s: float = 0.025
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ServeError("max_queue_depth must be >= 1")
+        if self.max_batch is not None and self.max_batch < 1:
+            raise ServeError("max_batch must be >= 1 (or None for slot capacity)")
+        if self.window_s < 0:
+            raise ServeError("window_s must be >= 0")
+
+
+@dataclass
+class ServeStats:
+    """Monotonic counters a load generator or test can read off."""
+
+    submitted: int = 0
+    served: int = 0
+    flushes: int = 0
+    packed_images: int = 0
+    rejected_queue_full: int = 0
+    rejected_oversized: int = 0
+    rejected_unknown_model: int = 0
+    peak_queue_depth: int = 0
+
+
+class PendingResponse:
+    """Future-like handle for one submitted request.
+
+    Resolves when the request's batch is flushed; :meth:`result` then
+    returns the per-request :class:`~repro.core.server.ServedResult` (still
+    encrypted -- only the user's session can decrypt it).
+    """
+
+    def __init__(self, request_id: int, model: str) -> None:
+        self.request_id = request_id
+        self.model = model
+        self._result: "ServedResult | None" = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._result is not None or self._error is not None
+
+    def result(self) -> "ServedResult":
+        """The served result.
+
+        Raises:
+            ResponseNotReady: the batch has not been flushed yet -- advance
+                the scheduler with ``pump()`` or force it with ``drain()``.
+        """
+        if self._error is not None:
+            raise self._error
+        if self._result is None:
+            raise ResponseNotReady(
+                f"request {self.request_id} ({self.model!r}) is still queued; "
+                "call pump() or drain() to flush its batch"
+            )
+        return self._result
+
+    def _resolve(self, result: "ServedResult") -> None:
+        self._result = result
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+
+
+@dataclass
+class _QueuedRequest:
+    request_id: int
+    model: str
+    ct: Ciphertext
+    batch: int
+    enqueued_at: float
+    deadline_at: float
+    queue_depth_at_submit: int
+    response: PendingResponse
+
+
+class RequestScheduler:
+    """Coalesces encrypted requests into slot-packed hybrid pipeline passes.
+
+    Args:
+        server: the :class:`~repro.core.server.EdgeServer` whose models,
+            evaluator and enclave serve the batches.  Its parameter set must
+            support CRT batching
+            (``parameters_for_pipeline(..., batching=True)``).
+        config: scheduling policy (a default :class:`ServeConfig` if None).
+
+    Raises:
+        ServeError: the server's plaintext modulus cannot batch.
+    """
+
+    def __init__(self, server: "EdgeServer", config: ServeConfig | None = None) -> None:
+        if not server.params.supports_batching():
+            raise ServeError(
+                "slot-packed serving needs a batching plaintext modulus; build "
+                "the server's parameters with "
+                "parameters_for_pipeline(..., batching=True)"
+            )
+        self.server = server
+        self.config = config if config is not None else ServeConfig()
+        self.slot_count = server.params.poly_degree
+        self.capacity = (
+            self.slot_count
+            if self.config.max_batch is None
+            else min(self.config.max_batch, self.slot_count)
+        )
+        self.stats = ServeStats()
+        self._queues: dict[str, list[_QueuedRequest]] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # queue state
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Queued (unflushed) requests across all models."""
+        return sum(len(bucket) for bucket in self._queues.values())
+
+    def pending_images(self, model_name: str) -> int:
+        """Images currently coalescing for ``model_name``."""
+        return sum(r.batch for r in self._queues.get(model_name, ()))
+
+    # ------------------------------------------------------------------
+    # request intake
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        model_name: str,
+        ct: Ciphertext,
+        *,
+        deadline_s: float | None = None,
+    ) -> PendingResponse:
+        """Enqueue one encrypted request; flushes immediately if it fills
+        the model's packing capacity.
+
+        Args:
+            model_name: a provisioned model.
+            ct: scalar-encoded ``(B, C, H, W)`` ciphertext (the same shape
+                :meth:`EdgeServer.infer` takes); usually ``B == 1``.
+            deadline_s: per-request coalescing deadline in simulated seconds
+                (the config's ``window_s`` if None); ``pump()`` flushes the
+                batch once it expires.
+
+        Raises:
+            UnknownModelError: ``model_name`` was never provisioned.
+            BatchTooLargeError: the request alone exceeds the capacity.
+            QueueFullError: the bounded queue is at ``max_queue_depth``.
+            ServeError: the ciphertext is not a 4-D pixel batch for this
+                model.
+        """
+        if model_name not in self.server.models():
+            self.stats.rejected_unknown_model += 1
+            raise UnknownModelError(
+                f"unknown model {model_name!r}; provisioned: {self.server.models()}"
+            )
+        self.server.context.check_same(ct.context)
+        if len(ct.batch_shape) != 4:
+            raise ServeError(
+                f"requests must be (B, C, H, W) pixel ciphertexts, got batch "
+                f"shape {ct.batch_shape}"
+            )
+        channels = self.server.encoded_model(model_name).conv.operands.shape[1]
+        if ct.batch_shape[1] != channels:
+            raise ServeError(
+                f"request has {ct.batch_shape[1]} channels, model "
+                f"{model_name!r} expects {channels}"
+            )
+        batch = int(ct.batch_shape[0])
+        if batch < 1:
+            raise ServeError("request ciphertext has an empty batch")
+        if batch > self.capacity:
+            self.stats.rejected_oversized += 1
+            raise BatchTooLargeError(
+                f"request of {batch} images exceeds the packing capacity "
+                f"{self.capacity} (slots: {self.slot_count})"
+            )
+        if self.queue_depth >= self.config.max_queue_depth:
+            self.stats.rejected_queue_full += 1
+            raise QueueFullError(
+                f"queue is at its bound of {self.config.max_queue_depth} "
+                "requests; drain or retry later"
+            )
+
+        # A request that would overflow the open batch closes it first, so
+        # earlier requests are never starved past capacity.
+        if self.pending_images(model_name) + batch > self.capacity:
+            self._flush_model(model_name)
+
+        clock = self.server.platform.clock
+        window = self.config.window_s if deadline_s is None else deadline_s
+        response = PendingResponse(self._next_id, model_name)
+        request = _QueuedRequest(
+            request_id=self._next_id,
+            model=model_name,
+            ct=ct,
+            batch=batch,
+            enqueued_at=clock.now_s,
+            deadline_at=clock.now_s + window,
+            queue_depth_at_submit=self.queue_depth,
+            response=response,
+        )
+        self._next_id += 1
+        self._queues.setdefault(model_name, []).append(request)
+        self.stats.submitted += 1
+        self.stats.peak_queue_depth = max(self.stats.peak_queue_depth, self.queue_depth)
+        if self.pending_images(model_name) >= self.capacity:
+            self._flush_model(model_name)
+        return response
+
+    # ------------------------------------------------------------------
+    # flushing
+    # ------------------------------------------------------------------
+    def pump(self) -> int:
+        """Flush every bucket whose oldest deadline has expired on the
+        simulated clock; returns the number of requests served."""
+        now = self.server.platform.clock.now_s
+        served = 0
+        for model_name in list(self._queues):
+            bucket = self._queues.get(model_name)
+            if bucket and min(r.deadline_at for r in bucket) <= now + 1e-12:
+                served += self._flush_model(model_name)
+        return served
+
+    def drain(self, model_name: str | None = None) -> int:
+        """Flush everything queued (or one model's bucket) regardless of
+        deadlines; returns the number of requests served."""
+        served = 0
+        targets = [model_name] if model_name is not None else list(self._queues)
+        for name in targets:
+            if self._queues.get(name):
+                served += self._flush_model(name)
+        return served
+
+    def _flush_model(self, model_name: str) -> int:
+        """Run one slot-packed hybrid pass over a model's queued requests
+        and resolve each request with its slice of the encrypted logits."""
+        from repro.core.server import ServedResult
+
+        requests = self._queues.pop(model_name, [])
+        if not requests:
+            return 0
+        server = self.server
+        quantized = server.model(model_name)
+        encoded = server.encoded_model(model_name)
+        tracer = server.platform.tracer
+        clock = server.platform.clock
+        enclave = server.enclave
+        total = sum(r.batch for r in requests)
+        # Requests share the enclave's key pair, so their ciphertexts stack
+        # into one scalar-encoded (total, C, H, W) batch for free.
+        stacked = Ciphertext(
+            server.context,
+            np.concatenate([r.ct.to_ntt().data for r in requests], axis=0),
+            is_ntt=True,
+        )
+        flushed_at = clock.now_s
+
+        def stage(name: str):
+            return tracer.stage(
+                name, counter=server.counter, side_channel=enclave.side_channel
+            )
+
+        try:
+            with tracer.span(
+                PACKED_SCHEME,
+                kind="pipeline",
+                counter=server.counter,
+                side_channel=enclave.side_channel,
+                model=model_name,
+                requests=len(requests),
+                batch=total,
+                slot_count=self.slot_count,
+            ) as trace:
+                with stage("pack"):
+                    # Host side: fold the B stacked requests into polynomial
+                    # coefficients homomorphically, so the enclave decrypts
+                    # one ciphertext per pixel position instead of B.
+                    folded = pack_coefficients(server.evaluator, stacked)
+                    packed = enclave.ecall("pack_slots", folded, total)
+                with stage("conv"):
+                    conv = heops.he_conv2d(
+                        server.evaluator, server.encoder, packed, encoded.conv
+                    )
+                with stage("sgx_activation_pool"):
+                    hidden = enclave.ecall(
+                        "activation_pool_simd",
+                        conv,
+                        quantized.conv_output_scale,
+                        quantized.act_scale,
+                        quantized.pool_window,
+                        quantized.activation,
+                        quantized.pool,
+                    )
+                with stage("fc"):
+                    logits_packed = heops.he_dense(
+                        server.evaluator, server.encoder, hidden, encoded.dense
+                    )
+                with stage("unpack"):
+                    logits_ct = enclave.ecall("unpack_slots", logits_packed, total)
+                for r in requests:
+                    with tracer.span(
+                        "serve/request",
+                        request_id=r.request_id,
+                        model=model_name,
+                        queue_wait_s=flushed_at - r.enqueued_at,
+                        queue_depth_at_submit=r.queue_depth_at_submit,
+                        batch=r.batch,
+                    ):
+                        pass
+        except Exception as exc:
+            for r in requests:
+                r.response._fail(exc)
+            raise
+
+        timing = InferenceResult(
+            logits=np.zeros((total, encoded.dense.out_features)),
+            stages=stages_from_trace(trace),
+            scheme=PACKED_SCHEME,
+            op_counts=dict(server.counter.counts),
+            enclave_crossings=trace.crossings,
+            trace=trace,
+        )
+        offset = 0
+        for r in requests:
+            r.response._resolve(
+                ServedResult(
+                    logits_ct=logits_ct[offset : offset + r.batch],
+                    timing=timing,
+                    request_id=r.request_id,
+                    packed_batch=total,
+                    queue_wait_s=flushed_at - r.enqueued_at,
+                )
+            )
+            offset += r.batch
+        self.stats.flushes += 1
+        self.stats.served += len(requests)
+        self.stats.packed_images += total
+        return len(requests)

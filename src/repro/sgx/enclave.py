@@ -198,6 +198,30 @@ class EnclaveHandle:
             )
         return result
 
+    def seal(
+        self,
+        data: bytes,
+        policy: sealing.SealingPolicy = sealing.SealingPolicy.MRENCLAVE,
+    ) -> sealing.SealedBlob:
+        """Seal ``data`` under this enclave's identity (EGETKEY analogue).
+
+        Public passthrough so hosts never reach into the enclave instance;
+        the blob is recoverable only by :meth:`unseal` on a handle with the
+        same measurement (per ``policy``) on the same platform.
+        """
+        if self._destroyed:
+            raise EnclaveNotInitialized("enclave handle was destroyed")
+        self.side_channel.record("seal", type(self._instance).__name__, bytes_in=len(data))
+        return self._instance.seal(data, policy)
+
+    def unseal(self, blob: sealing.SealedBlob) -> bytes:
+        """Recover sealed data; raises :class:`~repro.errors.SealingError`
+        for blobs sealed by a different enclave identity or platform."""
+        if self._destroyed:
+            raise EnclaveNotInitialized("enclave handle was destroyed")
+        self.side_channel.record("unseal", type(self._instance).__name__)
+        return self._instance.unseal(blob)
+
     def create_report(self, user_data: bytes) -> "Report":
         """Produce a locally-MACed report carrying ``user_data``.
 

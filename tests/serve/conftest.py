@@ -1,0 +1,65 @@
+"""Serving-layer fixtures: a batching-capable edge deployment.
+
+The scheduler needs a CRT-batching plaintext modulus, so these fixtures
+build their own parameter set (``batching=True``) instead of reusing the
+core fixtures' power-of-two modulus.  Server and session are
+function-scoped: scheduler tests mutate queue state and the simulated
+clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EdgeServer, parameters_for_pipeline, train_paper_models
+from repro.sgx import AttestationVerificationService
+
+
+@pytest.fixture(scope="session")
+def models():
+    return train_paper_models(
+        train_size=300, test_size=60, epochs=4, image_size=10, channels=2, kernel_size=3
+    )
+
+
+@pytest.fixture(scope="session")
+def q_sigmoid(models):
+    return models.quantized_sigmoid()
+
+
+@pytest.fixture(scope="session")
+def batching_params(q_sigmoid):
+    return parameters_for_pipeline(q_sigmoid, 256, batching=True)
+
+
+@pytest.fixture()
+def server(batching_params, q_sigmoid):
+    srv = EdgeServer(batching_params, seed=13)
+    srv.provision_model("digits", q_sigmoid)
+    return srv
+
+
+@pytest.fixture()
+def verifier_for():
+    def make(srv):
+        service = AttestationVerificationService()
+        service.register_platform(srv.quoting)
+        return service
+
+    return make
+
+
+@pytest.fixture()
+def session(server, verifier_for):
+    return server.enroll_user(entropy=b"\x42" * 32, verifier=verifier_for(server))
+
+
+@pytest.fixture()
+def session_for(verifier_for):
+    """Enroll a user against an ad-hoc server (tests that need their own
+    ServeConfig build their own EdgeServer)."""
+
+    def make(srv):
+        return srv.enroll_user(entropy=b"\x42" * 32, verifier=verifier_for(srv))
+
+    return make

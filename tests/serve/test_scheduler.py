@@ -1,0 +1,300 @@
+"""Request scheduler: packing correctness, queueing discipline, tracing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EdgeServer, PlaintextPipeline, parameters_for_pipeline
+from repro.errors import (
+    BatchTooLargeError,
+    PipelineError,
+    QueueFullError,
+    ResponseNotReady,
+    ServeError,
+    UnknownModelError,
+)
+from repro.obs import reconcile
+from repro.serve import PACKED_SCHEME, RequestScheduler, ServeConfig
+
+
+class TestPackingCorrectness:
+    def test_packed_matches_sequential_and_plaintext(
+        self, server, session, q_sigmoid, models
+    ):
+        """One packed flush must be bit-exact with one-request-at-a-time
+        serving and with the plaintext integer reference -- FV arithmetic is
+        exact, so slot packing may not change a single logit."""
+        images = models.dataset.test_images[:5]
+        sequential = np.concatenate(
+            [
+                session.decrypt_logits(
+                    server.infer("digits", session.encrypt("digits", images[i : i + 1]))
+                )
+                for i in range(len(images))
+            ]
+        )
+        responses = [
+            server.scheduler.submit("digits", session.encrypt("digits", images[i : i + 1]))
+            for i in range(len(images))
+        ]
+        assert server.scheduler.drain() == len(images)
+        packed = np.concatenate(
+            [session.decrypt_logits(r.result()) for r in responses]
+        )
+        expected = PlaintextPipeline(q_sigmoid).infer(images).logits
+        assert np.array_equal(packed, sequential)
+        assert np.array_equal(packed, expected)
+
+    def test_responses_keep_submit_order_per_request(
+        self, server, session, q_sigmoid, models
+    ):
+        """Each response carries *its own* image's logits: distinct images
+        submitted concurrently come back unswapped, in submission order."""
+        images = models.dataset.test_images[:4]
+        expected = PlaintextPipeline(q_sigmoid).infer(images).logits
+        responses = [
+            server.scheduler.submit("digits", session.encrypt("digits", images[i : i + 1]))
+            for i in range(len(images))
+        ]
+        server.scheduler.drain("digits")
+        for i, response in enumerate(responses):
+            assert response.request_id == i
+            logits = session.decrypt_logits(response.result())
+            assert np.array_equal(logits[0], expected[i])
+
+    def test_multi_image_requests_pack_with_singles(
+        self, server, session, q_sigmoid, models
+    ):
+        images = models.dataset.test_images[:5]
+        expected = PlaintextPipeline(q_sigmoid).infer(images).logits
+        r_pair = server.scheduler.submit("digits", session.encrypt("digits", images[:2]))
+        r_triple = server.scheduler.submit("digits", session.encrypt("digits", images[2:5]))
+        server.scheduler.drain()
+        assert np.array_equal(session.decrypt_logits(r_pair.result()), expected[:2])
+        assert np.array_equal(session.decrypt_logits(r_triple.result()), expected[2:5])
+        assert r_pair.result().packed_batch == 5
+        assert r_triple.result().packed_batch == 5
+
+
+class TestQueueDiscipline:
+    def test_result_before_flush_raises(self, server, session, models):
+        response = server.scheduler.submit(
+            "digits", session.encrypt("digits", models.dataset.test_images[:1])
+        )
+        assert not response.done()
+        with pytest.raises(ResponseNotReady):
+            response.result()
+
+    def test_queue_full_rejects_with_backpressure(
+        self, batching_params, q_sigmoid, session_for, models
+    ):
+        srv = EdgeServer(
+            batching_params, seed=13, serve_config=ServeConfig(max_queue_depth=2)
+        )
+        srv.provision_model("digits", q_sigmoid)
+        session = session_for(srv)
+        ct = session.encrypt("digits", models.dataset.test_images[:1])
+        srv.scheduler.submit("digits", ct)
+        srv.scheduler.submit("digits", ct)
+        with pytest.raises(QueueFullError):
+            srv.scheduler.submit("digits", ct)
+        assert srv.scheduler.stats.rejected_queue_full == 1
+        assert srv.scheduler.queue_depth == 2
+        assert srv.scheduler.drain() == 2
+
+    def test_flush_on_capacity(self, batching_params, q_sigmoid, session_for, models):
+        """The bucket flushes itself the moment it reaches packing capacity,
+        without pump() or drain()."""
+        srv = EdgeServer(
+            batching_params, seed=13, serve_config=ServeConfig(max_batch=3)
+        )
+        srv.provision_model("digits", q_sigmoid)
+        session = session_for(srv)
+        ct = session.encrypt("digits", models.dataset.test_images[:1])
+        first = [srv.scheduler.submit("digits", ct) for _ in range(3)]
+        assert all(r.done() for r in first)
+        assert srv.scheduler.queue_depth == 0
+        assert srv.scheduler.stats.flushes == 1
+
+    def test_overflow_request_closes_open_batch_first(
+        self, batching_params, q_sigmoid, session_for, models
+    ):
+        srv = EdgeServer(
+            batching_params, seed=13, serve_config=ServeConfig(max_batch=3)
+        )
+        srv.provision_model("digits", q_sigmoid)
+        session = session_for(srv)
+        single = session.encrypt("digits", models.dataset.test_images[:1])
+        pair = session.encrypt("digits", models.dataset.test_images[1:3])
+        early = [srv.scheduler.submit("digits", single) for _ in range(2)]
+        late = srv.scheduler.submit("digits", pair)
+        # 2 + 2 > 3: the two early singles flushed as their own batch...
+        assert all(r.done() for r in early)
+        assert early[0].result().packed_batch == 2
+        # ...and the pair waits for its own flush.
+        assert not late.done()
+        srv.scheduler.drain()
+        assert late.result().packed_batch == 2
+
+    def test_flush_on_deadline_under_simulated_clock(self, server, session, models):
+        ct = session.encrypt("digits", models.dataset.test_images[:1])
+        response = server.scheduler.submit("digits", ct, deadline_s=0.5)
+        clock = server.platform.clock
+        clock.elapse_real(0.4)
+        assert server.scheduler.pump() == 0
+        assert not response.done()
+        clock.elapse_real(0.2)
+        assert server.scheduler.pump() == 1
+        assert response.done()
+
+    def test_default_window_drives_pump(self, batching_params, q_sigmoid, session_for, models):
+        srv = EdgeServer(
+            batching_params, seed=13, serve_config=ServeConfig(window_s=0.01)
+        )
+        srv.provision_model("digits", q_sigmoid)
+        session = session_for(srv)
+        srv.scheduler.submit(
+            "digits", session.encrypt("digits", models.dataset.test_images[:1])
+        )
+        srv.platform.clock.elapse_real(0.02)
+        assert srv.scheduler.pump() == 1
+
+
+class TestRejectionPaths:
+    def test_unknown_model(self, server, session, models):
+        ct = session.encrypt("digits", models.dataset.test_images[:1])
+        with pytest.raises(UnknownModelError):
+            server.scheduler.submit("faces", ct)
+        assert server.scheduler.stats.rejected_unknown_model == 1
+
+    def test_unknown_model_is_a_pipeline_error(self, server, session, models):
+        """Typed serve errors stay inside the library's existing hierarchy."""
+        ct = session.encrypt("digits", models.dataset.test_images[:1])
+        with pytest.raises(PipelineError):
+            server.infer("faces", ct)
+
+    def test_oversized_batch(self, batching_params, q_sigmoid, session_for, models):
+        srv = EdgeServer(
+            batching_params, seed=13, serve_config=ServeConfig(max_batch=2)
+        )
+        srv.provision_model("digits", q_sigmoid)
+        session = session_for(srv)
+        ct = session.encrypt("digits", models.dataset.test_images[:3])
+        with pytest.raises(BatchTooLargeError):
+            srv.scheduler.submit("digits", ct)
+        assert srv.scheduler.stats.rejected_oversized == 1
+
+    def test_non_batching_params_rejected(self, q_sigmoid):
+        params = parameters_for_pipeline(q_sigmoid, 256)  # power-of-two t
+        srv = EdgeServer(params, seed=13)
+        srv.provision_model("digits", q_sigmoid)
+        with pytest.raises(ServeError):
+            srv.scheduler  # noqa: B018 - the property builds the scheduler
+
+    def test_malformed_request_shape(self, server, session, models):
+        ct = session.encrypt("digits", models.dataset.test_images[:1])
+        with pytest.raises(ServeError):
+            server.scheduler.submit("digits", ct[0, :, :, :])
+
+
+class TestServerFacade:
+    def test_infer_pack_kwarg(self, server, session, q_sigmoid, models):
+        images = models.dataset.test_images[:1]
+        result = server.infer(
+            "digits", session.encrypt("digits", images), pack=True
+        )
+        expected = PlaintextPipeline(q_sigmoid).infer(images).logits
+        assert np.array_equal(session.decrypt_logits(result), expected)
+        assert result.packed_batch == 1
+        assert result.request_id is not None
+
+    def test_pack_true_rides_existing_batch(self, server, session, q_sigmoid, models):
+        """A pack=True call drains the whole bucket: earlier submissions
+        resolve on the same flush."""
+        images = models.dataset.test_images[:3]
+        expected = PlaintextPipeline(q_sigmoid).infer(images).logits
+        early = [
+            server.scheduler.submit("digits", session.encrypt("digits", images[i : i + 1]))
+            for i in range(2)
+        ]
+        result = server.infer(
+            "digits", session.encrypt("digits", images[2:3]), pack=True
+        )
+        assert result.packed_batch == 3
+        assert all(r.done() for r in early)
+        assert np.array_equal(session.decrypt_logits(early[0].result()), expected[:1])
+
+    def test_deadline_without_pack_rejected(self, server, session, models):
+        ct = session.encrypt("digits", models.dataset.test_images[:1])
+        with pytest.raises(PipelineError):
+            server.infer("digits", ct, deadline_ms=5.0)
+
+    def test_legacy_positional_call_still_works(self, server, session, q_sigmoid, models):
+        images = models.dataset.test_images[:1]
+        result = server.infer("digits", session.encrypt("digits", images))
+        expected = PlaintextPipeline(q_sigmoid).infer(images).logits
+        assert np.array_equal(session.decrypt_logits(result), expected)
+
+
+class TestObservability:
+    def test_packed_trace_structure(self, server, session, models):
+        for i in range(3):
+            server.scheduler.submit(
+                "digits", session.encrypt("digits", models.dataset.test_images[i : i + 1])
+            )
+        server.scheduler.drain()
+        trace = next(
+            t for t in reversed(server.platform.tracer.traces) if t.name == PACKED_SCHEME
+        )
+        reconcile(trace)
+        stage_names = [c.name for c in trace.children if c.kind == "stage"]
+        assert stage_names == ["pack", "conv", "sgx_activation_pool", "fc", "unpack"]
+        request_spans = [c for c in trace.children if c.name == "serve/request"]
+        assert len(request_spans) == 3
+        for span in request_spans:
+            assert span.attrs["queue_wait_s"] >= 0.0
+            assert span.attrs["queue_depth_at_submit"] >= 0
+        assert trace.attrs["batch"] == 3
+
+    def test_served_result_carries_serving_metadata(self, server, session, models):
+        response = server.scheduler.submit(
+            "digits", session.encrypt("digits", models.dataset.test_images[:1])
+        )
+        server.platform.clock.elapse_real(0.1)
+        server.scheduler.drain()
+        result = response.result()
+        assert result.packed_batch == 1
+        assert result.queue_wait_s == pytest.approx(0.1)
+
+    def test_stats_accumulate(self, server, session, models):
+        for i in range(4):
+            server.scheduler.submit(
+                "digits", session.encrypt("digits", models.dataset.test_images[i : i + 1])
+            )
+        server.scheduler.drain()
+        stats = server.scheduler.stats
+        assert stats.submitted == 4
+        assert stats.served == 4
+        assert stats.flushes == 1
+        assert stats.packed_images == 4
+        assert stats.peak_queue_depth == 4
+
+
+class TestSchedulerConstruction:
+    def test_standalone_construction(self, server):
+        scheduler = RequestScheduler(server, ServeConfig(max_batch=8))
+        assert scheduler.capacity == 8
+        assert scheduler.slot_count == server.params.poly_degree
+
+    def test_capacity_clamped_to_slots(self, server):
+        scheduler = RequestScheduler(server, ServeConfig(max_batch=10**6))
+        assert scheduler.capacity == server.params.poly_degree
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ServeError):
+            ServeConfig(max_queue_depth=0)
+        with pytest.raises(ServeError):
+            ServeConfig(max_batch=0)
+        with pytest.raises(ServeError):
+            ServeConfig(window_s=-1.0)
