@@ -22,8 +22,9 @@ import numpy as np
 from repro.core import heops
 from repro.core.results import InferenceResult, stages_from_trace
 from repro.errors import PipelineError
+from repro.he import kernels
 from repro.he.context import Context
-from repro.he.decryptor import Decryptor
+from repro.he.decryptor import Decryptor, decrypt_scalar_values
 from repro.he.encoders import ScalarEncoder
 from repro.he.encryptor import Encryptor
 from repro.he.evaluator import Evaluator, OperationCounter
@@ -94,7 +95,10 @@ class CryptonetsPipeline:
 
     def infer(self, images: np.ndarray) -> InferenceResult:
         with self.tracer.span(
-            self.scheme, kind="pipeline", batch=int(images.shape[0])
+            self.scheme,
+            kind="pipeline",
+            kernel_mode=kernels.active().mode_name,
+            batch=int(images.shape[0]),
         ) as trace:
             with self.tracer.stage("encrypt"):
                 ct = self.encrypt_images(images)
@@ -122,7 +126,7 @@ class CryptonetsPipeline:
 
             budget = self.decryptor.invariant_noise_budget(logits_ct)
             with self.tracer.stage("decrypt"):
-                logits = self.encoder.decode(self.decryptor.decrypt(logits_ct))
+                logits = decrypt_scalar_values(self.decryptor, self.encoder, logits_ct)
 
         return InferenceResult(
             logits=logits,

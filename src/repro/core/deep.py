@@ -23,8 +23,9 @@ from repro.core.enclave_service import InferenceEnclave
 from repro.core.keyflow import establish_user_keys
 from repro.core.results import InferenceResult, stages_from_trace
 from repro.errors import PipelineError
+from repro.he import kernels
 from repro.he.context import Context
-from repro.he.decryptor import Decryptor
+from repro.he.decryptor import Decryptor, decrypt_scalar_values
 from repro.he.encoders import ScalarEncoder
 from repro.he.encryptor import Encryptor
 from repro.he.evaluator import Evaluator, OperationCounter
@@ -103,6 +104,7 @@ class DeepHybridPipeline:
             kind="pipeline",
             counter=self.counter,
             side_channel=self.enclave.side_channel,
+            kernel_mode=kernels.active().mode_name,
             batch=int(images.shape[0]),
             blocks=len(self.quantized.blocks),
         ) as trace:
@@ -133,7 +135,7 @@ class DeepHybridPipeline:
 
             budget = self.decryptor.invariant_noise_budget(logits_ct)
             with self._stage("decrypt"):
-                logits = self.encoder.decode(self.decryptor.decrypt(logits_ct))
+                logits = decrypt_scalar_values(self.decryptor, self.encoder, logits_ct)
 
         return InferenceResult(
             logits=logits,

@@ -17,9 +17,49 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import PipelineError
+from repro.he import kernels
 from repro.he.context import Ciphertext
 from repro.he.encoders import ScalarEncoder
 from repro.he.evaluator import Evaluator, PlainOperand
+
+#: Elementwise cap on the gathered tap-window stack (~128 MB of int64).
+_TAP_CHUNK_ELEMS = 1 << 24
+
+_INT64_MAX = (1 << 63) - 1
+
+
+def _recover_slot_constants(ntt_data: np.ndarray, prime_list: list[int]) -> np.ndarray | None:
+    """Recover the integer scalars behind slot-constant NTT operands.
+
+    ``ScalarEncoder`` encodes a weight ``w`` as the constant polynomial
+    ``[w]_t``, whose NTT evaluation is the same residue in every slot; a
+    ``ct_plain_mul`` by such an operand is therefore multiplication by one
+    integer.  Given stacked operand data ``(..., k, n)`` this returns the
+    ``(...,)`` int64 values (centered at the first prime, verified consistent
+    across all primes), or ``None`` if any operand is not slot-constant --
+    the fused layers then keep the generic modular tap path.
+    """
+    if not (ntt_data == ntt_data[..., :1]).all():
+        return None
+    residues = ntt_data[..., 0]  # (..., k)
+    p0 = prime_list[0]
+    values = np.where(
+        residues[..., 0] <= p0 // 2, residues[..., 0], residues[..., 0] - p0
+    ).astype(np.int64)
+    for i, p in enumerate(prime_list):
+        if not (values % p == residues[..., i]).all():
+            return None
+    return values
+
+
+def _scalar_tap_bound_ok(values: np.ndarray, terms: int, p_max: int) -> bool:
+    """True when ``sum_{terms}(w * x)`` with ``|w| <= max|values|`` and
+    ``0 <= x < p_max`` cannot overflow int64 -- the fused layers' deferred
+    single-reduction contract."""
+    if values.size == 0:
+        return False
+    w_max = int(np.abs(values).max())
+    return terms * w_max * (p_max - 1) <= _INT64_MAX
 
 
 class EncodedConvWeights:
@@ -28,12 +68,35 @@ class EncodedConvWeights:
     Attributes:
         operands: object array ``(F, C, k, k)`` of :class:`PlainOperand`.
         bias: int64 array ``(F,)`` at conv-output scale.
+        tap_stack: int64 array ``(F, T, k_rns, n)`` stacking every tap
+            operand's NTT data in reference-loop order (``T = C * k * k``,
+            row-major over ``(C, i, j)``) -- the fused kernel's operand.
+        bias_operand: broadcastable ``(F, 1, 1)``-batched ``Delta * bias``
+            :class:`PlainOperand` precomputed at encode time (``None`` when
+            constructed without an evaluator; the fused bias path then falls
+            back to per-call encoding).
     """
 
-    def __init__(self, operands: np.ndarray, bias: np.ndarray, stride: int) -> None:
+    def __init__(
+        self,
+        operands: np.ndarray,
+        bias: np.ndarray,
+        stride: int,
+        bias_operand: PlainOperand | None = None,
+    ) -> None:
         self.operands = operands
         self.bias = bias
         self.stride = stride
+        self.bias_operand = bias_operand
+        f = operands.shape[0]
+        self.tap_stack = np.stack(
+            [np.stack([op.ntt_data for op in operands[fi].ravel()]) for fi in range(f)]
+        )
+        # (F, T) signed integer weights behind the slot-constant operands;
+        # None when any tap is not a scalar encoding.
+        self.weight_taps = _recover_slot_constants(
+            self.tap_stack, [int(p) for p in operands.flat[0].context.ring.primes]
+        )
 
     @property
     def out_channels(self) -> int:
@@ -51,11 +114,26 @@ class EncodedDenseWeights:
         operands: list of ``(D,)``-batched :class:`PlainOperand`, one per
             output class (row-major over the flattened input).
         bias: int64 array ``(O,)`` at logit scale.
+        class_stack: int64 array ``(O, D, k_rns, n)`` stacking every class
+            operand -- the fused kernel computes all classes in one pass.
+        bias_operand: ``(O,)``-batched ``Delta * bias`` operand precomputed
+            at encode time (``None`` without an evaluator).
     """
 
-    def __init__(self, operands: list[PlainOperand], bias: np.ndarray) -> None:
+    def __init__(
+        self,
+        operands: list[PlainOperand],
+        bias: np.ndarray,
+        bias_operand: PlainOperand | None = None,
+    ) -> None:
         self.operands = operands
         self.bias = bias
+        self.bias_operand = bias_operand
+        self.class_stack = np.stack([op.ntt_data for op in operands])
+        # (O, D) signed integer weights behind the slot-constant operands.
+        self.weight_matrix = _recover_slot_constants(
+            self.class_stack, [int(p) for p in operands[0].context.ring.primes]
+        )
 
     @property
     def out_features(self) -> int:
@@ -111,7 +189,14 @@ def encode_conv_weights(
                     operands[fi, ci, i, j] = evaluator.transform_plain(
                         encoder.encode(int(weight[fi, ci, i, j]))
                     )
-    return EncodedConvWeights(operands, np.asarray(bias, dtype=np.int64), stride)
+    bias = np.asarray(bias, dtype=np.int64)
+    # Delta-scaled bias, encoded once with a (F, 1, 1) batch shape that
+    # broadcasts over any (B, F, OH, OW) conv output -- no per-inference
+    # np.full(...) re-encoding.
+    bias_operand = evaluator.transform_plain_delta(
+        encoder.encode(bias.reshape(f, 1, 1))
+    )
+    return EncodedConvWeights(operands, bias, stride, bias_operand=bias_operand)
 
 
 def encode_dense_weights(
@@ -125,7 +210,9 @@ def encode_dense_weights(
     operands = [
         evaluator.transform_plain(encoder.encode(weight[:, oi])) for oi in range(o)
     ]
-    return EncodedDenseWeights(operands, np.asarray(bias, dtype=np.int64))
+    bias = np.asarray(bias, dtype=np.int64)
+    bias_operand = evaluator.transform_plain_delta(encoder.encode(bias))
+    return EncodedDenseWeights(operands, bias, bias_operand=bias_operand)
 
 
 def he_conv2d(
@@ -154,6 +241,8 @@ def he_conv2d(
     s = weights.stride
     oh = (h - k) // s + 1
     ow = (w - k) // s + 1
+    if kernels.active().fused_layers and weights.bias_operand is not None:
+        return _he_conv2d_fused(evaluator, ct, weights, oh, ow)
     per_channel: list[Ciphertext] = []
     for fi in range(weights.out_channels):
         acc: Ciphertext | None = None
@@ -171,6 +260,80 @@ def he_conv2d(
     return Ciphertext(ct.context, data, is_ntt=per_channel[0].is_ntt)
 
 
+def _he_conv2d_fused(
+    evaluator: Evaluator,
+    ct: Ciphertext,
+    weights: EncodedConvWeights,
+    oh: int,
+    ow: int,
+) -> Ciphertext:
+    """Tap-batched convolution: every ``F * C * k * k`` tap window stacked
+    along one batch axis, each output map one fused multiply + deferred
+    single-reduction sum.
+
+    When every tap operand is a slot-constant scalar encoding (the normal
+    quantized-CNN case) the whole tap sum is one signed int64 matmul over
+    the raw weights -- ``sum |w| * p`` is bounds-checked against int64 --
+    followed by a single mod-p pass.  Otherwise the generic modular path
+    multiplies the stacked NTT operands with per-chunk reductions.  Both are
+    bit-identical to the per-tap reference loop (mod-p sums are associative
+    and every partial stays exact); the window gather is chunked so the
+    stacked intermediate is memory-bounded at production scale.  The
+    recorded op tallies match the reference loop exactly.
+    """
+    ring = ct.context.ring
+    b, c, h, w = ct.batch_shape
+    k = weights.kernel_size
+    s = weights.stride
+    ct = ct.to_ntt()
+    data = ct.data  # (B, C, H, W, size, k_rns, n)
+    taps = weights.tap_stack  # (F, T, k_rns, n)
+    f, t = taps.shape[:2]
+    tail = data.shape[-3:]
+    tap_index = [
+        (ci, i, j) for ci in range(c) for i in range(k) for j in range(k)
+    ]
+    slice_elems = b * oh * ow * int(np.prod(tail))
+    chunk = max(1, _TAP_CHUNK_ELEMS // max(1, slice_elems))
+    p_max = int(ring.primes.max())
+    wtaps = weights.weight_taps
+    scalar_path = wtaps is not None and _scalar_tap_bound_ok(wtaps, t, p_max)
+    acc = np.zeros((f, b, oh, ow, *tail), dtype=np.int64)
+    for start in range(0, t, chunk):
+        block = tap_index[start : start + chunk]
+        win = np.empty((len(block), b, oh, ow, *tail), dtype=np.int64)
+        for off, (ci, i, j) in enumerate(block):
+            win[off] = data[:, ci, i : i + oh * s : s, j : j + ow * s : s]
+        if scalar_path:
+            # Signed MAC over the raw integer weights: the full tap sum
+            # stays below int64 by the bound check, so no intermediate
+            # reductions at all -- one matmul per chunk.
+            acc += (
+                wtaps[:, start : start + chunk] @ win.reshape(len(block), -1)
+            ).reshape(acc.shape)
+        else:
+            # (F, Tc, B, OH, OW, size, k_rns, n) product, reduced over taps.
+            acc += ring.pointwise_mul_sum(
+                win[None],
+                taps[:, start : start + chunk, None, None, None, None, :, :],
+                axis=1,
+            )
+    if scalar_path:
+        for i, p in enumerate(ring.primes):
+            acc[..., i, :] %= int(p)  # floor mod: exact also for negatives
+    elif t > chunk:  # partial sums per chunk are each reduced; fold them
+        acc %= ring.primes.reshape(-1, 1)
+    if evaluator.counter is not None:
+        lanes = b * oh * ow
+        evaluator.counter.record("ct_plain_mul", f * t * lanes)
+        if t > 1:  # the reference loop issues no add() for a single tap
+            evaluator.counter.record("ct_add", f * (t - 1) * lanes)
+    out = Ciphertext(
+        ct.context, np.ascontiguousarray(np.moveaxis(acc, 0, 1)), is_ntt=True
+    )
+    return evaluator.add_plain_operand(out, weights.bias_operand)
+
+
 def he_square(evaluator: Evaluator, ct: Ciphertext) -> Ciphertext:
     """CryptoNets activation: homomorphic elementwise square (size 2 -> 3)."""
     return evaluator.square(ct)
@@ -185,6 +348,19 @@ def he_scaled_mean_pool(
     _, _, h, w = ct.batch_shape
     if h % window or w % window:
         raise PipelineError(f"feature map {h}x{w} not divisible by window {window}")
+    if kernels.active().fused_layers:
+        pieces = [
+            ct[:, :, i::window, j::window].to_ntt().data
+            for i in range(window)
+            for j in range(window)
+        ]
+        summed = ct.context.ring.reduce_sum(np.stack(pieces), axis=0)
+        result = Ciphertext(ct.context, summed, is_ntt=True)
+        if evaluator.counter is not None:
+            evaluator.counter.record(
+                "ct_add", (window * window - 1) * max(1, result.batch_count)
+            )
+        return result
     acc: Ciphertext | None = None
     for i in range(window):
         for j in range(window):
@@ -208,16 +384,54 @@ def he_dense(
     b = ct.batch_shape[0]
     flat = ct.reshape(b, -1)
     d = flat.batch_shape[1]
-    outputs: list[Ciphertext] = []
     for oi, operand in enumerate(weights.operands):
         if operand.batch_shape != (d,):
             raise PipelineError(
                 f"dense operand {oi} covers {operand.batch_shape} inputs, "
                 f"ciphertext provides {d}"
             )
+    if kernels.active().fused_layers and weights.bias_operand is not None:
+        return _he_dense_fused(evaluator, flat, weights)
+    outputs: list[Ciphertext] = []
+    for oi, operand in enumerate(weights.operands):
         products = evaluator.multiply_plain(flat, operand)
         summed = evaluator.sum_batch(products, axis=1)
         bias_plain = encoder.encode(np.full((b,), int(weights.bias[oi]), dtype=np.int64))
         outputs.append(evaluator.add_plain(summed, bias_plain))
     data = np.stack([o.data for o in outputs], axis=1)
     return Ciphertext(ct.context, data, is_ntt=outputs[0].is_ntt)
+
+
+def _he_dense_fused(
+    evaluator: Evaluator, flat: Ciphertext, weights: EncodedDenseWeights
+) -> Ciphertext:
+    """All-classes FC kernel: one fused multiply + deferred-reduction sum
+    over the stacked ``(O, D, k, n)`` operand computes every output class at
+    once; bit-identical to the per-class loop, with matching op tallies.
+    Slot-constant scalar weights take the signed int64 matmul shortcut (one
+    mod-p pass after the whole contraction)."""
+    ring = flat.context.ring
+    flat = flat.to_ntt()
+    b, d = flat.batch_shape
+    o = weights.out_features
+    wmat = weights.weight_matrix
+    if wmat is not None and _scalar_tap_bound_ok(wmat, d, int(ring.primes.max())):
+        fd = flat.data  # (B, D, size, k_rns, n)
+        moved = np.ascontiguousarray(np.moveaxis(fd, 1, 0)).reshape(d, -1)
+        summed = (wmat @ moved).reshape(o, b, *fd.shape[2:])
+        for i, p in enumerate(ring.primes):
+            summed[..., i, :] %= int(p)
+    else:
+        # (O, B, D, size, k_rns, n) product, reduced over D -> (O, B, ...).
+        summed = ring.pointwise_mul_sum(
+            flat.data[None],
+            weights.class_stack[:, None, :, None, :, :],
+            axis=2,
+        )
+    if evaluator.counter is not None:
+        evaluator.counter.record("ct_plain_mul", o * b * d)
+        evaluator.counter.record("ct_add", o * (d - 1) * b)
+    out = Ciphertext(
+        flat.context, np.ascontiguousarray(np.moveaxis(summed, 0, 1)), is_ntt=True
+    )
+    return evaluator.add_plain_operand(out, weights.bias_operand)

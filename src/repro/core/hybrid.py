@@ -30,8 +30,9 @@ from repro.core.enclave_service import InferenceEnclave
 from repro.core.keyflow import establish_user_keys
 from repro.core.results import InferenceResult, stages_from_trace
 from repro.errors import PipelineError
+from repro.he import kernels
 from repro.he.context import Ciphertext, Context
-from repro.he.decryptor import Decryptor
+from repro.he.decryptor import Decryptor, decrypt_scalar_values
 from repro.he.encoders import ScalarEncoder
 from repro.he.encryptor import Encryptor
 from repro.he.evaluator import Evaluator, OperationCounter
@@ -182,6 +183,7 @@ class HybridPipeline:
             counter=self.counter,
             side_channel=self.enclave.side_channel,
             mode=self.mode,
+            kernel_mode=kernels.active().mode_name,
             batch=int(images.shape[0]),
         ) as trace:
             with self._stage("encrypt"):
@@ -205,7 +207,7 @@ class HybridPipeline:
 
             budget = self.decryptor.invariant_noise_budget(logits_ct)
             with self._stage("decrypt"):
-                logits = self.encoder.decode(self.decryptor.decrypt(logits_ct))
+                logits = decrypt_scalar_values(self.decryptor, self.encoder, logits_ct)
 
         return InferenceResult(
             logits=logits,

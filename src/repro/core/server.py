@@ -41,7 +41,7 @@ from repro.core.results import InferenceResult, stages_from_trace
 from repro.errors import PipelineError, SealingError, UnknownModelError
 from repro.he import serialize as he_serialize
 from repro.he.context import Ciphertext, Context
-from repro.he.decryptor import Decryptor
+from repro.he.decryptor import Decryptor, decrypt_scalar_values
 from repro.he.encoders import ScalarEncoder
 from repro.he.encryptor import Encryptor
 from repro.he.evaluator import Evaluator, OperationCounter
@@ -71,11 +71,10 @@ class UserSession:
         return self.encryptor.encrypt(self.encoder.encode(pixels))
 
     def decrypt(self, result: "ServedResult") -> np.ndarray:
-        logits = self.encoder.decode(self.decryptor.decrypt(result.logits_ct))
-        return logits.argmax(axis=1)
+        return self.decrypt_logits(result).argmax(axis=1)
 
     def decrypt_logits(self, result: "ServedResult") -> np.ndarray:
-        return self.encoder.decode(self.decryptor.decrypt(result.logits_ct))
+        return decrypt_scalar_values(self.decryptor, self.encoder, result.logits_ct)
 
     def _quantized(self, model_name: str) -> QuantizedCNN:
         quantized = self.quantized_by_model.get(model_name)

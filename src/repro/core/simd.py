@@ -24,6 +24,7 @@ from repro.core.enclave_service import InferenceEnclave
 from repro.core.keyflow import establish_user_keys
 from repro.core.results import InferenceResult, stages_from_trace
 from repro.errors import PipelineError
+from repro.he import kernels
 from repro.he.batching import BatchEncoder
 from repro.he.context import Ciphertext, Context
 from repro.he.decryptor import Decryptor
@@ -146,6 +147,7 @@ class SimdHybridPipeline:
             kind="pipeline",
             counter=self.counter,
             side_channel=self.enclave.side_channel,
+            kernel_mode=kernels.active().mode_name,
             batch=int(batch),
             slot_count=self.slot_count,
         ) as trace:

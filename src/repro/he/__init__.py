@@ -24,10 +24,17 @@ Typical usage::
 
 from repro.he.batching import BatchEncoder
 from repro.he.context import Ciphertext, Context, Plaintext
-from repro.he.decryptor import Decryptor
+from repro.he.decryptor import Decryptor, decrypt_scalar_values
 from repro.he.encoders import FractionalEncoder, IntegerEncoder, ScalarEncoder
 from repro.he.encryptor import Encryptor, SymmetricEncryptor
 from repro.he.evaluator import Evaluator, OperationCounter, PlainOperand
+from repro.he.kernels import (
+    FUSED,
+    REFERENCE,
+    KernelProfile,
+    fused_kernels,
+    reference_kernels,
+)
 from repro.he.keys import KeyGenerator, KeyPair, PublicKey, RelinKeys, SecretKey
 from repro.he.noise import NoiseEstimator
 from repro.he.params import (
@@ -46,8 +53,10 @@ __all__ = [
     "EncryptionParams",
     "Encryptor",
     "Evaluator",
+    "FUSED",
     "FractionalEncoder",
     "IntegerEncoder",
+    "KernelProfile",
     "KeyGenerator",
     "KeyPair",
     "NoiseEstimator",
@@ -55,12 +64,16 @@ __all__ = [
     "PlainOperand",
     "Plaintext",
     "PublicKey",
+    "REFERENCE",
     "RelinKeys",
     "ScalarEncoder",
     "SecretKey",
     "SymmetricEncryptor",
+    "decrypt_scalar_values",
     "default_parameter_options",
     "functional_parameters",
+    "fused_kernels",
     "paper_parameters",
+    "reference_kernels",
     "small_parameter_options",
 ]

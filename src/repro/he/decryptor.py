@@ -14,7 +14,8 @@ import math
 
 import numpy as np
 
-from repro.errors import NoiseBudgetExhausted
+from repro.errors import EncodingError, NoiseBudgetExhausted
+from repro.he import kernels
 from repro.he.context import Ciphertext, Context, Plaintext
 from repro.he.keys import SecretKey
 
@@ -32,8 +33,8 @@ class Decryptor:
         self.context = context
         self.secret_key = secret_key
 
-    def _dot_with_secret(self, ct: Ciphertext) -> np.ndarray:
-        """``[sum_i c_i s^i]_q`` as centered bigint coefficients."""
+    def _dot_ntt(self, ct: Ciphertext) -> np.ndarray:
+        """``[sum_i c_i s^i]_q`` as NTT-domain RNS residues ``(..., k, n)``."""
         self.context.check_same(ct.context)
         ring = self.context.ring
         ct = ct.to_ntt()
@@ -43,7 +44,67 @@ class Decryptor:
             acc = ring.add(acc, ring.pointwise_mul(ct.data[..., i, :, :], s_power))
             if i + 1 < ct.size:
                 s_power = ring.pointwise_mul(s_power, self.secret_key.s_ntt)
-        return ring.to_bigint_centered(ring.intt(acc))
+        return acc
+
+    def _dot_with_secret(self, ct: Ciphertext) -> np.ndarray:
+        """``[sum_i c_i s^i]_q`` as centered bigint coefficients."""
+        ring = self.context.ring
+        coeff = ring.intt(self._dot_ntt(ct))
+        if kernels.active().fast_decrypt and ring.q_fits_int64:
+            # Same integers, lifted with the int64 Garner kernel instead of
+            # the object-dtype CRT sum.
+            return ring.to_int64_centered(coeff).astype(object)
+        return ring.to_bigint_centered(coeff)
+
+    def decrypt_constants(self, ct: Ciphertext) -> np.ndarray:
+        """Fast decrypt of *scalar-encoded* ciphertexts: centered int64
+        constant coefficients, one O(n) reduction per value.
+
+        Instead of a full inverse NTT (``log n`` butterfly stages) this
+        computes only coefficients ``{0, 1, n/2}`` of ``[ct(s)]_q`` as
+        weighted sums over the NTT slots
+        (:meth:`~repro.he.ntt.StackedNttPlan.inverse_coeff_weights`), lifts
+        them with the int64 Garner CRT and applies the exact FV rounding.
+        Coefficient 0 is the payload; coefficients 1 and ``n/2`` are probes
+        that must decode to 0 for any ScalarEncoder-produced value.  The
+        values returned are bit-identical to
+        ``ScalarEncoder.decode(decrypt(ct))``; the overflow check is
+        probabilistic (two probe coefficients instead of all ``n - 1``, each
+        nonzero with probability ``1 - 1/t`` once noise has overflowed).
+
+        Raises:
+            EncodingError: if a probe coefficient decodes nonzero -- the
+                ciphertext does not hold scalar-encoded values (overflowed
+                slot or different encoder).
+        """
+        ring = self.context.ring
+        params = self.context.params
+        acc = self._dot_ntt(ct)
+        probes = [0, 1, ring.n // 2] if ring.n > 1 else [0]
+        weights = np.stack(
+            [ring.stacked.inverse_coeff_weights(i) for i in probes], axis=-2
+        )  # (k, len(probes), n)
+        prod = acc[..., None, :] * weights  # (..., k, probes, n), < p^2 < 2^62
+        for i, p in enumerate(ring.primes):
+            prod[..., i, :, :] %= int(p)
+        residues = np.add.reduce(prod, axis=-1) % ring.primes[:, None]
+        centered = ring.to_int64_centered(residues)  # (..., len(probes))
+        # Exact FV rounding round(t * v / q) mod t on the tiny probe array
+        # (a few values per ciphertext, so object arithmetic is negligible).
+        t, q = params.plain_modulus, params.coeff_modulus
+        scaled = centered.astype(object) * t
+        half = q // 2
+        rounded = np.where(
+            scaled >= 0, (scaled + half) // q, -((-scaled + half) // q)
+        )
+        coeffs = (rounded % t).astype(np.int64)
+        if coeffs[..., 1:].any():
+            raise EncodingError(
+                "plaintext has non-constant coefficients; it was not produced "
+                "by ScalarEncoder (or the computation overflowed the slot)"
+            )
+        constants = coeffs[..., 0]
+        return np.where(constants > t // 2, constants - t, constants)
 
     def decrypt(self, ct: Ciphertext, check_noise: bool = False) -> Plaintext:
         """Decrypt a (batched) ciphertext.
@@ -82,6 +143,14 @@ class Decryptor:
     def _worst_noise(self, ct: Ciphertext) -> int:
         params = self.context.params
         q = params.coeff_modulus
+        ring = self.context.ring
+        if kernels.active().fast_decrypt and ring.q_fits_int64:
+            # [t * ct(s)]_q computed in RNS (scalar multiply per prime) and
+            # lifted with the int64 Garner kernel: identical to the object
+            # path's (raw * t) % q, without any bigint arithmetic.
+            scaled = ring.mul_scalar(self._dot_ntt(ct), params.plain_modulus)
+            centered = ring.to_int64_centered(ring.intt(scaled))
+            return int(np.abs(centered).max()) if centered.size else 0
         raw = self._dot_with_secret(ct)
         residue = (raw * params.plain_modulus) % q
         centered = np.where(residue > q // 2, residue - q, residue)
@@ -99,3 +168,18 @@ class Decryptor:
             return float(q.bit_length() - 1)
         budget = math.log2(q) - math.log2(worst) - 1.0
         return max(0.0, budget)
+
+
+def decrypt_scalar_values(decryptor: Decryptor, encoder, ct: Ciphertext) -> np.ndarray:
+    """Decrypt + decode a scalar-encoded ciphertext under the active kernels.
+
+    Under the fused profile (and an int64-liftable ``q``) this takes the
+    O(n)-per-value :meth:`Decryptor.decrypt_constants` shortcut; otherwise it
+    runs the reference ``encoder.decode(decryptor.decrypt(ct))`` path.  Both
+    return the same centered int64 values -- the pipelines' decrypt stages
+    dispatch here so the kernel benchmark can compare them in one process.
+    """
+    ring = decryptor.context.ring
+    if kernels.active().fast_decrypt and ring.q_fits_int64:
+        return decryptor.decrypt_constants(ct)
+    return encoder.decode(decryptor.decrypt(ct))

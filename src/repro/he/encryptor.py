@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.he import kernels
 from repro.he.context import Ciphertext, Context, Plaintext
 from repro.he.keys import PublicKey, SecretKey
 
@@ -43,15 +44,21 @@ class Encryptor:
         ring = self.context.ring
         params = self.context.params
         batch = plain.batch_shape
-        u = ring.ntt(ring.sample_ternary(self.rng, *batch))
+        ternary = ring.sample_ternary(self.rng, *batch)
         e1 = ring.sample_noise(self.rng, params.noise_stddev, *batch)
         e2 = ring.sample_noise(self.rng, params.noise_stddev, *batch)
         delta_m = ring.mul_scalar(ring.from_int_coeffs(plain.coeffs), params.delta)
-        c0 = ring.add(
-            ring.pointwise_mul(self.public_key.p0_ntt, u),
-            ring.ntt(ring.add(e1, delta_m)),
-        )
-        c1 = ring.add(ring.pointwise_mul(self.public_key.p1_ntt, u), ring.ntt(e2))
+        if kernels.active().stacked_ntt:
+            # One stacked butterfly pass over [u, e1 + Delta m, e2] instead
+            # of three transforms -- same values, amortized stage overhead.
+            fx = ring.ntt(np.stack([ternary, ring.add(e1, delta_m), e2]))
+            u, t1, t2 = fx[0], fx[1], fx[2]
+        else:
+            u = ring.ntt(ternary)
+            t1 = ring.ntt(ring.add(e1, delta_m))
+            t2 = ring.ntt(e2)
+        c0 = ring.add(ring.pointwise_mul(self.public_key.p0_ntt, u), t1)
+        c1 = ring.add(ring.pointwise_mul(self.public_key.p1_ntt, u), t2)
         data = np.stack([c0, c1], axis=-3)
         return Ciphertext(self.context, data, is_ntt=True)
 
@@ -88,12 +95,15 @@ class SymmetricEncryptor:
         ring = self.context.ring
         params = self.context.params
         batch = plain.batch_shape
-        a = ring.ntt(ring.sample_uniform(self.rng, *batch))
+        uniform = ring.sample_uniform(self.rng, *batch)
         e = ring.sample_noise(self.rng, params.noise_stddev, *batch)
         delta_m = ring.mul_scalar(ring.from_int_coeffs(plain.coeffs), params.delta)
-        body = ring.sub(
-            ring.ntt(ring.add(delta_m, e)),
-            ring.pointwise_mul(a, self.secret_key.s_ntt),
-        )
+        if kernels.active().stacked_ntt:
+            fx = ring.ntt(np.stack([uniform, ring.add(delta_m, e)]))
+            a, masked = fx[0], fx[1]
+        else:
+            a = ring.ntt(uniform)
+            masked = ring.ntt(ring.add(delta_m, e))
+        body = ring.sub(masked, ring.pointwise_mul(a, self.secret_key.s_ntt))
         data = np.stack([body, a], axis=-3)
         return Ciphertext(self.context, data, is_ntt=True)

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import KeyMismatchError, ParameterError
+from repro.he import kernels
 from repro.he.context import Ciphertext, Context, Plaintext
 from repro.he.keys import RelinKeys
 
@@ -90,6 +91,23 @@ class Evaluator:
         ring = self.context.ring
         return PlainOperand(self.context, ring.ntt(ring.from_signed_small(plain.signed_coeffs())))
 
+    def transform_plain_delta(self, plain: Plaintext) -> PlainOperand:
+        """Precompute the NTT form of ``Delta * plain`` -- the exact value
+        :meth:`add_plain` adds into the ciphertext body.
+
+        Layer bias constants are the same every inference, so the encoded
+        weight tables precompute this operand once instead of re-encoding and
+        re-transforming an ``np.full(...)`` plaintext per call; adding the
+        cached operand via :meth:`add_plain_operand` is bit-identical to
+        :meth:`add_plain` on the same values.
+        """
+        self._check(plain)
+        ring = self.context.ring
+        delta_m = ring.ntt(
+            ring.mul_scalar(ring.from_int_coeffs(plain.coeffs), self.context.params.delta)
+        )
+        return PlainOperand(self.context, delta_m)
+
     # ------------------------------------------------------------------
     # additive operations
     # ------------------------------------------------------------------
@@ -129,9 +147,40 @@ class Evaluator:
         self._record("plain_add", result)
         return result
 
+    def add_plain_operand(self, ct: Ciphertext, operand: PlainOperand) -> Ciphertext:
+        """Add a precomputed ``Delta * m`` operand (broadcast over the batch)
+        into the ciphertext body; see :meth:`transform_plain_delta`."""
+        self._check(ct, operand)
+        ring = self.context.ring
+        ct = ct.to_ntt()
+        data = ct.data.copy()
+        data[..., 0, :, :] = ring.add(data[..., 0, :, :], operand.ntt_data)
+        result = Ciphertext(self.context, data, is_ntt=True)
+        self._record("plain_add", result)
+        return result
+
     def add_many(self, cts: list[Ciphertext]) -> Ciphertext:
         if not cts:
             raise ParameterError("add_many requires at least one ciphertext")
+        if len(cts) == 1:
+            return cts[0]
+        first = cts[0]
+        uniform = all(
+            ct.size == first.size and ct.batch_shape == first.batch_shape
+            for ct in cts[1:]
+        )
+        if uniform and kernels.active().fused_layers:
+            # One stacked reduction (and one trailing %) instead of a
+            # sequential O(len) fold of add() allocations; the op tally
+            # matches the fold exactly.
+            self._check(*cts)
+            stacked = np.stack([ct.to_ntt().data for ct in cts])
+            result = Ciphertext(
+                self.context, self.context.ring.reduce_sum(stacked, axis=0), is_ntt=True
+            )
+            if self.counter is not None:
+                self.counter.record("ct_add", (len(cts) - 1) * max(1, result.batch_count))
+            return result
         acc = cts[0]
         for ct in cts[1:]:
             acc = self.add(acc, ct)

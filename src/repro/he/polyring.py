@@ -15,8 +15,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import ParameterError
-from repro.he import modmath
-from repro.he.ntt import NttPlan, negacyclic_convolve_exact
+from repro.he import kernels, modmath
+from repro.he.ntt import NttPlan, StackedNttPlan, negacyclic_convolve_exact
+
+#: Elementwise cap on chunked fused multiply-reduce intermediates (~256 MB).
+_MUL_SUM_CHUNK_ELEMS = 1 << 25
 
 
 class PolyContext:
@@ -36,7 +39,17 @@ class PolyContext:
         self.k = len(primes)
         self.q = modmath.product(primes)
         self.plans = [NttPlan(n, int(p)) for p in self.primes]
+        self.stacked = StackedNttPlan(n, self.primes, plans=self.plans)
         self._p_col = self.primes.reshape(self.k, 1)
+        self._prime_list = [int(p) for p in self.primes]
+        self._p_max = max(self._prime_list)
+        # Deferred-reduction overflow bound: a sum of fully reduced residues
+        # (each < p_max < 2^31) stays int64-exact for up to this many terms;
+        # reduce_sum / pointwise_mul_sum enforce it.
+        self.max_sum_terms = ((1 << 63) - 1) // (self._p_max - 1)
+        # Per-value scalar residue cache (mul_scalar / from_scalar): weights,
+        # Delta and bias constants recur across every inference.
+        self._scalar_cache: dict[int, np.ndarray] = {}
         # CRT lift weights: w_i = (q / p_i) * inv(q / p_i, p_i), so that
         # value = sum(r_i * w_i) mod q.
         self._crt_weights = np.array(
@@ -46,6 +59,24 @@ class PolyContext:
             ],
             dtype=object,
         )
+        # Garner (mixed-radix) lift constants for the int64 CRT fast path:
+        # x = r_0 + p_0 * t_1 + p_0 p_1 * t_2 + ...; every intermediate stays
+        # below q, so the lift is exact in int64 whenever q < 2^62.
+        self.q_fits_int64 = self.q < (1 << 62)
+        if self.q_fits_int64:
+            prods: list[int] = [1]
+            invs: list[int] = [0]
+            partial = 1
+            for i in range(1, self.k):
+                partial *= self._prime_list[i - 1]
+                prods.append(partial)
+                invs.append(
+                    modmath.invert_mod(
+                        partial % self._prime_list[i], self._prime_list[i]
+                    )
+                )
+            self._garner_prods = prods
+            self._garner_invs = invs
 
     # ------------------------------------------------------------------
     # construction / sampling
@@ -70,10 +101,24 @@ class PolyContext:
                 out[..., i, :] = coeffs % int(p)
         return out
 
+    def scalar_residues(self, value: int) -> np.ndarray:
+        """Cached, read-only ``(k, 1)`` residue column of an integer scalar."""
+        value = int(value)
+        cached = self._scalar_cache.get(value)
+        if cached is None:
+            if len(self._scalar_cache) > 4096:
+                self._scalar_cache.clear()
+            cached = np.array(
+                [value % p for p in self._prime_list], dtype=np.int64
+            ).reshape(self.k, 1)
+            cached.flags.writeable = False
+            self._scalar_cache[value] = cached
+        return cached
+
     def from_scalar(self, value: int) -> np.ndarray:
         """Constant polynomial ``value`` in RNS form."""
         out = self.zeros()
-        out[:, 0] = np.array([value % int(p) for p in self.primes], dtype=np.int64)
+        out[:, 0] = self.scalar_residues(value)[:, 0]
         return out
 
     def sample_uniform(self, rng: np.random.Generator, *leading: int) -> np.ndarray:
@@ -100,38 +145,70 @@ class PolyContext:
     def from_signed_small(self, coeffs: np.ndarray) -> np.ndarray:
         """RNS form of small signed int64 coefficients (|c| < min prime)."""
         coeffs = np.asarray(coeffs, dtype=np.int64)
-        expanded = coeffs[..., None, :] % self._p_col
-        return expanded
+        if not kernels.active().lazy_reduction:
+            return coeffs[..., None, :] % self._p_col
+        # |c| < p, so one branch-free conditional add replaces the division:
+        # (c >> 63) is an all-ones mask exactly for negative coefficients.
+        out = np.empty((*coeffs.shape[:-1], self.k, self.n), dtype=np.int64)
+        neg = (coeffs >> 63)
+        for i, p in enumerate(self._prime_list):
+            out[..., i, :] = coeffs + (neg & p)
+        return out
 
     # ------------------------------------------------------------------
     # ring operations (domain-agnostic: valid in both coeff and NTT form)
     # ------------------------------------------------------------------
     def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        return (a + b) % self._p_col
+        if not kernels.active().lazy_reduction:
+            return (a + b) % self._p_col
+        # Conditional subtract: inputs are reduced residues in [0, p), so the
+        # sum is in [0, 2p) and one subtract-and-fixup replaces the division
+        # of a full ``%``.  (s >> 63) is an all-ones mask exactly when the
+        # speculative subtraction went negative.
+        s = a + b
+        s -= self._p_col
+        s += (s >> 63) & self._p_col
+        return s
 
     def sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        return (a - b) % self._p_col
+        if not kernels.active().lazy_reduction:
+            return (a - b) % self._p_col
+        d = a - b  # in (-p, p); one conditional add restores [0, p)
+        d += (d >> 63) & self._p_col
+        return d
 
     def neg(self, a: np.ndarray) -> np.ndarray:
         return (-a) % self._p_col
 
     def mul_scalar(self, a: np.ndarray, value: int) -> np.ndarray:
-        scalars = np.array(
-            [value % int(p) for p in self.primes], dtype=np.int64
-        ).reshape(self.k, 1)
-        return a * scalars % self._p_col
+        out = a * self.scalar_residues(value)
+        return self._reduce_product(out)
 
     def pointwise_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Coefficient-wise product; this is ring multiplication iff both
         operands are in NTT domain."""
-        return a * b % self._p_col
+        return self._reduce_product(a * b)
+
+    def _reduce_product(self, prod: np.ndarray) -> np.ndarray:
+        """Reduce a freshly materialized ``(..., k, n)`` product in place.
+
+        Under lazy-reduction kernels each prime's plane is reduced with a
+        scalar modulus (measurably faster than one broadcast array ``%``);
+        the reference profile keeps the broadcast form.  Same values either
+        way."""
+        if not kernels.active().lazy_reduction:
+            return prod % self._p_col
+        for i, p in enumerate(self._prime_list):
+            prod[..., i, :] %= p
+        return prod
 
     def reduce_sum(self, a: np.ndarray, axis: int) -> np.ndarray:
         """Sum a batch of ring elements along one leading (batch) axis.
 
         Equivalent to folding :meth:`add` over that axis but performed as a
-        single numpy reduction.  ``axis`` must address a batch axis, not the
-        trailing ``(k, n)`` residue/coefficient axes.
+        single numpy reduction with one trailing ``%``: fully reduced
+        residues are < 2^31, so up to :attr:`max_sum_terms` (>= 2^32) terms
+        accumulate exactly in int64 before the deferred reduction.
         """
         axis = axis % a.ndim
         if axis >= a.ndim - 2:
@@ -139,18 +216,72 @@ class PolyContext:
                 "reduce_sum operates on batch axes; the trailing two axes "
                 "are the RNS residue and coefficient dimensions"
             )
+        if a.shape[axis] > self.max_sum_terms:
+            raise ParameterError(
+                f"deferred reduction overflow: summing {a.shape[axis]} residues "
+                f"< {self._p_max} exceeds int64 (max {self.max_sum_terms} terms)"
+            )
         return np.add.reduce(a, axis=axis) % self._p_col
+
+    def pointwise_mul_sum(self, a: np.ndarray, b: np.ndarray, axis: int) -> np.ndarray:
+        """Fused ``reduce_sum(pointwise_mul(a, b), axis)`` with bounded memory.
+
+        The broadcast product is materialized in chunks along ``axis``; each
+        chunk's products are reduced mod p (products of two residues can
+        reach ~2^62, so they cannot be accumulated lazily) and the reduced
+        terms -- each < p_max < 2^31 -- are summed exactly in int64 with one
+        trailing ``%`` per prime.  This is the conv/dense tap-batch kernel:
+        one multiply pass + one reduction instead of a Python loop of
+        ``multiply_plain`` / ``add`` allocations.
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        out_shape = np.broadcast_shapes(a.shape, b.shape)
+        axis = axis % len(out_shape)
+        if axis >= len(out_shape) - 2:
+            raise ParameterError(
+                "pointwise_mul_sum reduces a batch axis; the trailing two "
+                "axes are the RNS residue and coefficient dimensions"
+            )
+        terms = out_shape[axis]
+        if terms > self.max_sum_terms:
+            raise ParameterError(
+                f"deferred reduction overflow: summing {terms} residues "
+                f"< {self._p_max} exceeds int64 (max {self.max_sum_terms} terms)"
+            )
+        slice_elems = 1
+        for i, dim in enumerate(out_shape):
+            if i != axis:
+                slice_elems *= dim
+        chunk = max(1, _MUL_SUM_CHUNK_ELEMS // max(1, slice_elems))
+        a_full = np.broadcast_to(a, out_shape)
+        b_full = np.broadcast_to(b, out_shape)
+        index: list = [slice(None)] * len(out_shape)
+        acc: np.ndarray | None = None
+        for start in range(0, terms, chunk):
+            index[axis] = slice(start, start + chunk)
+            prod = a_full[tuple(index)] * b_full[tuple(index)]
+            for i, p in enumerate(self._prime_list):
+                prod[..., i, :] %= p
+            partial = np.add.reduce(prod, axis=axis)
+            acc = partial if acc is None else acc + partial
+        assert acc is not None  # terms >= 1 always holds for layer kernels
+        return acc % self._p_col
 
     # ------------------------------------------------------------------
     # domain conversion
     # ------------------------------------------------------------------
     def ntt(self, a: np.ndarray) -> np.ndarray:
+        if kernels.active().stacked_ntt:
+            return self.stacked.forward(a)
         out = np.empty_like(a)
         for i, plan in enumerate(self.plans):
             out[..., i, :] = plan.forward(a[..., i, :])
         return out
 
     def intt(self, a: np.ndarray) -> np.ndarray:
+        if kernels.active().stacked_ntt:
+            return self.stacked.inverse(a)
         out = np.empty_like(a)
         for i, plan in enumerate(self.plans):
             out[..., i, :] = plan.inverse(a[..., i, :])
@@ -177,6 +308,28 @@ class PolyContext:
         """Like :meth:`to_bigint` but mapped into ``(-q/2, q/2]``."""
         lifted = self.to_bigint(a)
         return np.where(lifted > self.q // 2, lifted - self.q, lifted)
+
+    def to_int64_centered(self, a: np.ndarray) -> np.ndarray:
+        """Exact centered CRT lift as int64 (requires ``q < 2^62``).
+
+        Garner's mixed-radix reconstruction: every intermediate stays below
+        ``q``, so for ``q < 2^62`` the whole lift runs in int64 -- no
+        object-dtype arithmetic.  Bit-identical (after ``astype(object)``)
+        to :meth:`to_bigint_centered`.
+        """
+        if not self.q_fits_int64:
+            raise ParameterError(
+                f"q has {self.q.bit_length()} bits; the int64 CRT lift "
+                "requires q < 2^62 (use to_bigint_centered)"
+            )
+        acc = a[..., 0, :].astype(np.int64, copy=True)
+        for i in range(1, self.k):
+            p = self._prime_list[i]
+            d = (a[..., i, :] - acc) % p
+            d *= self._garner_invs[i]
+            d %= p
+            acc += self._garner_prods[i] * d
+        return np.where(acc > self.q // 2, acc - self.q, acc)
 
     def convolve_exact(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Exact signed negacyclic convolution of centered bigint coefficient
