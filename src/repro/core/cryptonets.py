@@ -22,6 +22,7 @@ import numpy as np
 from repro.core import heops
 from repro.core.results import InferenceResult, stages_from_trace
 from repro.errors import PipelineError
+from repro.faults import run_with_kernel_degradation
 from repro.he import kernels
 from repro.he.context import Context
 from repro.he.decryptor import Decryptor, decrypt_scalar_values
@@ -94,6 +95,13 @@ class CryptonetsPipeline:
         return self.encryptor.encrypt(self.encoder.encode(pixels))
 
     def infer(self, images: np.ndarray) -> InferenceResult:
+        """One inference; degrades FUSED -> REFERENCE kernels and retries
+        once if the runtime equivalence guard trips (identical logits)."""
+        return run_with_kernel_degradation(
+            self.tracer, self.scheme, lambda: self._infer_once(images)
+        )
+
+    def _infer_once(self, images: np.ndarray) -> InferenceResult:
         with self.tracer.span(
             self.scheme,
             kind="pipeline",

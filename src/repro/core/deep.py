@@ -23,6 +23,7 @@ from repro.core.enclave_service import InferenceEnclave
 from repro.core.keyflow import establish_user_keys
 from repro.core.results import InferenceResult, stages_from_trace
 from repro.errors import PipelineError
+from repro.faults import EnclaveSupervisor, run_with_kernel_degradation
 from repro.he import kernels
 from repro.he.context import Context
 from repro.he.decryptor import Decryptor, decrypt_scalar_values
@@ -65,7 +66,7 @@ class DeepHybridPipeline:
         self.clock = self.platform.clock
         self.tracer = self.platform.tracer
         self.context = Context(params)
-        self.enclave = self.platform.load_enclave(InferenceEnclave, params, seed)
+        self.enclave = EnclaveSupervisor(self.platform, InferenceEnclave, params, seed)
         self.enclave.ecall("generate_keys")
         self.quoting = QuotingService(self.platform)
         self.verifier = AttestationVerificationService()
@@ -99,6 +100,13 @@ class DeepHybridPipeline:
         )
 
     def infer(self, images: np.ndarray) -> InferenceResult:
+        """One inference; degrades FUSED -> REFERENCE kernels and retries
+        once if the runtime equivalence guard trips (identical logits)."""
+        return run_with_kernel_degradation(
+            self.tracer, self.scheme, lambda: self._infer_once(images)
+        )
+
+    def _infer_once(self, images: np.ndarray) -> InferenceResult:
         with self.tracer.span(
             self.scheme,
             kind="pipeline",

@@ -29,9 +29,14 @@ from repro.he import kernels
 from repro.he.context import Ciphertext, Context, Plaintext
 from repro.he.decryptor import Decryptor
 from repro.he.encryptor import SymmetricEncryptor
-from repro.he.keys import KeyGenerator, PublicKey, RelinKeys
+from repro.he.keys import KeyGenerator, KeyPair, PublicKey, RelinKeys
 from repro.he.params import EncryptionParams
-from repro.he.serialize import serialize_public_key, serialize_secret_key
+from repro.he.serialize import (
+    deserialize_public_key,
+    deserialize_secret_key,
+    serialize_public_key,
+    serialize_secret_key,
+)
 from repro.nn.layers import LeakyReLU, ReLU, Sigmoid, Tanh
 from repro.sgx.enclave import Enclave
 from repro.sgx.ecall import ecall
@@ -73,6 +78,41 @@ class InferenceEnclave(Enclave):
         self._decryptor = Decryptor(self._context, self._keys.secret)
         self._encryptor = SymmetricEncryptor(self._context, self._keys.secret, self._rng)
         return self._keys.public
+
+    @ecall
+    def snapshot_keys(self):
+        """Seal the FV key pair for crash recovery (supervisor-driven).
+
+        The blob is bound to this MRENCLAVE on this platform, so persisting
+        it to untrusted storage releases nothing; only a restarted instance
+        of the *same* trusted code can :meth:`restore_keys` from it.
+        """
+        self._require_keys()
+        payload = _pack_key_pair(
+            serialize_public_key(self._keys.public),
+            serialize_secret_key(self._keys.secret),
+        )
+        return self.seal(payload)
+
+    @ecall
+    def restore_keys(self, blob, nonce: bytes) -> None:
+        """Unseal a :meth:`snapshot_keys` blob into a restarted enclave and
+        approve ``nonce`` for the supervisor's re-attestation report.
+
+        Raises:
+            SealingError: the blob was sealed by different trusted code, a
+                different platform, or was tampered with -- recovery must not
+                proceed on such keys.
+        """
+        payload = self.unseal(blob)
+        public_bytes, secret_bytes = unpack_key_pair(payload)
+        self._keys = KeyPair(
+            public=deserialize_public_key(public_bytes, self._context),
+            secret=deserialize_secret_key(secret_bytes, self._context),
+        )
+        self._decryptor = Decryptor(self._context, self._keys.secret)
+        self._encryptor = SymmetricEncryptor(self._context, self._keys.secret, self._rng)
+        self.attest(nonce)
 
     @ecall
     def get_public_key(self) -> PublicKey:

@@ -30,6 +30,7 @@ from repro.core.enclave_service import InferenceEnclave
 from repro.core.keyflow import establish_user_keys
 from repro.core.results import InferenceResult, stages_from_trace
 from repro.errors import PipelineError
+from repro.faults import EnclaveSupervisor, run_with_kernel_degradation
 from repro.he import kernels
 from repro.he.context import Ciphertext, Context
 from repro.he.decryptor import Decryptor, decrypt_scalar_values
@@ -100,9 +101,10 @@ class HybridPipeline:
         self.tracer = self.platform.tracer
         self.context = Context(params)
 
-        # Load the trusted service; "fake" runs the same code with no enclave.
-        self.enclave = self.platform.load_enclave(
-            InferenceEnclave, params, seed, trusted=(mode != "fake")
+        # Load the trusted service under crash supervision; "fake" runs the
+        # same code (and the same recovery path) with no enclave.
+        self.enclave = EnclaveSupervisor(
+            self.platform, InferenceEnclave, params, seed, trusted=(mode != "fake")
         )
         self.enclave.ecall("generate_keys")
 
@@ -177,6 +179,13 @@ class HybridPipeline:
         )
 
     def infer(self, images: np.ndarray) -> InferenceResult:
+        """One inference; degrades FUSED -> REFERENCE kernels and retries
+        once if the runtime equivalence guard trips (identical logits)."""
+        return run_with_kernel_degradation(
+            self.tracer, self.scheme, lambda: self._infer_once(images)
+        )
+
+    def _infer_once(self, images: np.ndarray) -> InferenceResult:
         with self.tracer.span(
             self.scheme,
             kind="pipeline",

@@ -39,6 +39,7 @@ from repro.core.enclave_service import InferenceEnclave
 from repro.core.keyflow import SgxKeyDistribution, UserClient
 from repro.core.results import InferenceResult, stages_from_trace
 from repro.errors import PipelineError, SealingError, UnknownModelError
+from repro.faults import EnclaveSupervisor, run_with_kernel_degradation
 from repro.he import serialize as he_serialize
 from repro.he.context import Ciphertext, Context
 from repro.he.decryptor import Decryptor, decrypt_scalar_values
@@ -170,7 +171,7 @@ class EdgeServer:
         self.params = params
         self.platform = platform if platform is not None else SgxPlatform()
         self.context = Context(params)
-        self.enclave = self.platform.load_enclave(InferenceEnclave, params, seed)
+        self.enclave = EnclaveSupervisor(self.platform, InferenceEnclave, params, seed)
         self.enclave.ecall("generate_keys")
         self.quoting = QuotingService(self.platform)
         self._distribution = SgxKeyDistribution(
@@ -319,6 +320,13 @@ class EdgeServer:
                 self.scheduler.drain(model_name)
             return response.result()
 
+        return run_with_kernel_degradation(
+            self.platform.tracer,
+            "EdgeServer/EncryptSGX",
+            lambda: self._infer_direct(model_name, ct),
+        )
+
+    def _infer_direct(self, model_name: str, ct: Ciphertext) -> ServedResult:
         quantized = self._require_model(model_name)
         encoded = self._encoded[model_name]
         tracer = self.platform.tracer

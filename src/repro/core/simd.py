@@ -24,6 +24,7 @@ from repro.core.enclave_service import InferenceEnclave
 from repro.core.keyflow import establish_user_keys
 from repro.core.results import InferenceResult, stages_from_trace
 from repro.errors import PipelineError
+from repro.faults import EnclaveSupervisor, run_with_kernel_degradation
 from repro.he import kernels
 from repro.he.batching import BatchEncoder
 from repro.he.context import Ciphertext, Context
@@ -108,7 +109,7 @@ class SimdHybridPipeline:
         self.context = Context(params)
         self.codec = SlotCodec(self.context)
 
-        self.enclave = self.platform.load_enclave(InferenceEnclave, params, seed)
+        self.enclave = EnclaveSupervisor(self.platform, InferenceEnclave, params, seed)
         self.enclave.ecall("generate_keys")
         self.quoting = QuotingService(self.platform)
         self.verifier = AttestationVerificationService()
@@ -141,6 +142,13 @@ class SimdHybridPipeline:
         )
 
     def infer(self, images: np.ndarray) -> InferenceResult:
+        """One inference; degrades FUSED -> REFERENCE kernels and retries
+        once if the runtime equivalence guard trips (identical logits)."""
+        return run_with_kernel_degradation(
+            self.tracer, self.scheme, lambda: self._infer_once(images)
+        )
+
+    def _infer_once(self, images: np.ndarray) -> InferenceResult:
         batch = images.shape[0]
         with self.tracer.span(
             self.scheme,

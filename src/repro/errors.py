@@ -24,6 +24,22 @@ class NoiseBudgetExhausted(ReproError, ArithmeticError):
     """A ciphertext's invariant noise grew past the decryptable threshold."""
 
 
+class SerializationError(ParameterError):
+    """A serialized payload is malformed, truncated or corrupt.
+
+    Derives from :class:`ParameterError` so existing callers that guard
+    deserialization with ``except ParameterError`` keep working.
+    """
+
+
+class KernelGuardError(ReproError, RuntimeError):
+    """The runtime kernel-equivalence guard tripped for the FUSED profile.
+
+    Recovery is graceful degradation: the serving stack switches to the
+    REFERENCE kernel profile and retries (see ``repro.he.kernels.degrade``).
+    """
+
+
 class KeyMismatchError(ReproError, ValueError):
     """An operation mixed keys or ciphertexts from different contexts."""
 
@@ -38,6 +54,25 @@ class EnclaveMemoryError(EnclaveError, MemoryError):
 
 class EnclaveNotInitialized(EnclaveError):
     """An ECALL was issued against an enclave that was never created."""
+
+
+class EnclaveCrashed(EnclaveError):
+    """The enclave was lost mid-execution (AEX-style crash).
+
+    The handle stays unusable until the enclave is reloaded; the
+    :class:`~repro.faults.EnclaveSupervisor` treats this error -- and only
+    this error -- as the signal to restart, re-attest and re-provision keys.
+    """
+
+
+class RecoveryExhausted(EnclaveError):
+    """The enclave restart/retry policy gave up.
+
+    Raised by :class:`~repro.faults.EnclaveSupervisor` after
+    ``RetryPolicy.max_attempts`` consecutive crashes, or when a restart
+    itself fails unrecoverably (sealed keys unrecoverable, re-attestation
+    rejected).  ``__cause__`` carries the final underlying failure.
+    """
 
 
 class AttestationError(EnclaveError):
@@ -81,3 +116,13 @@ class BatchTooLargeError(ServeError):
 
 class ResponseNotReady(ServeError):
     """A pending response was read before its batch was flushed."""
+
+
+class RequestFailedError(ServeError):
+    """A scheduled request failed during its (packed) flush.
+
+    The scheduler resolves every queued request -- a failed flush never
+    leaves a future permanently :class:`ResponseNotReady`.  ``__cause__``
+    carries the underlying failure (a poisoned ciphertext's
+    :class:`PipelineError`, an unrecoverable :class:`RecoveryExhausted`, ...).
+    """

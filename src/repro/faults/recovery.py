@@ -1,0 +1,266 @@
+"""Crash recovery: the enclave supervisor and its retry policy.
+
+The paper's framework makes one enclave the key authority *and* plaintext
+co-processor -- if it crashes mid-inference, every pipeline stalls and,
+naively, the HE keys every enrolled user holds become unusable (a restarted
+enclave would generate fresh ones).  The supervisor closes that gap with
+the machinery a production deployment would use:
+
+1. after ``generate_keys`` it immediately asks the enclave to *seal* its FV
+   key pair (``snapshot_keys``) -- the blob is recoverable only by the same
+   MRENCLAVE on the same platform, so persisting it to untrusted storage
+   leaks nothing;
+2. on an AEX-style crash (:class:`~repro.errors.EnclaveCrashed` -- and only
+   that; a deliberate ``destroy()`` is never resurrected) it charges an
+   exponential backoff to the *simulated* clock, reloads the enclave class,
+   restores the sealed keys (``restore_keys``), and **re-attests** the new
+   instance through the platform's quoting chain before trusting it;
+3. the repaired handle re-issues the failed ECALL; enrolled users'
+   ciphertexts remain decryptable because the restored key pair is
+   bit-identical.
+
+Every recovery action is recorded as a ``recovery/enclave_restart`` span on
+the platform tracer, so traces show not just *that* a run degraded but what
+it cost.  All timing flows through :class:`~repro.sgx.clock.SimClock` --
+there are no wall-clock sleeps, which is what keeps the chaos suite
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import (
+    AttestationError,
+    EnclaveCrashed,
+    RecoveryExhausted,
+    SealingError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sgx.enclave import Enclave, EnclaveHandle, SgxPlatform
+    from repro.sgx.measurement import Measurement
+    from repro.sgx.sealing import SealedBlob, SealingPolicy
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry-with-exponential-backoff policy for crashed ECALLs.
+
+    Attributes:
+        max_attempts: total tries per ECALL (first call + retries).
+        backoff_s: simulated seconds charged before the first restart.
+        backoff_factor: multiplier per subsequent restart.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be >= 0 with factor >= 1")
+
+    def delay_s(self, restart: int) -> float:
+        """Backoff before the ``restart``-th restart (1-based)."""
+        return self.backoff_s * self.backoff_factor ** (restart - 1)
+
+
+def run_with_kernel_degradation(tracer, scheme: str, fn):
+    """Run one inference with graceful FUSED -> REFERENCE degradation.
+
+    ``fn`` is the pipeline's single-shot inference; the kernel equivalence
+    guard (:func:`repro.he.kernels.guard`) is consulted first.  If it trips
+    -- :class:`~repro.errors.KernelGuardError`, only reachable through an
+    armed fault plan -- the library permanently falls back to the reference
+    profile, records a ``recovery/kernel_degrade`` span, and retries once.
+    Both profiles are bit-identical by construction, so the caller observes
+    the same logits either way; what changes is the performance profile,
+    which the trace records.
+    """
+    from repro.errors import KernelGuardError
+    from repro.he import kernels
+
+    try:
+        kernels.guard(scheme)
+        return fn()
+    except KernelGuardError as trip:
+        with tracer.span(
+            "recovery/kernel_degrade", kind="span", scheme=scheme, error=str(trip)
+        ):
+            kernels.degrade_to_reference()
+        return fn()
+
+
+class EnclaveSupervisor:
+    """A crash-aware drop-in for :class:`~repro.sgx.enclave.EnclaveHandle`.
+
+    Exposes the same surface pipelines use (``ecall``, ``seal``/``unseal``,
+    ``create_report``, ``side_channel``, ``measurement``, ``destroy``) while
+    transparently restarting the enclave on injected or genuine
+    :class:`~repro.errors.EnclaveCrashed` failures.  One side-channel log is
+    shared across restarts so crossing accounting stays monotonic.
+
+    Args:
+        platform: the simulated SGX machine.
+        enclave_class: trusted code to (re)load.
+        *args, **kwargs: forwarded to the enclave constructor on every
+            (re)load -- a deterministic seed here makes restarted key
+            generation reproduce the fault-free keys exactly.
+        trusted: False supervises a FakeSGX handle (same recovery path).
+        policy: retry/backoff policy (defaults apply when omitted).
+    """
+
+    def __init__(
+        self,
+        platform: "SgxPlatform",
+        enclave_class: type["Enclave"],
+        *args: Any,
+        trusted: bool = True,
+        policy: RetryPolicy | None = None,
+        **kwargs: Any,
+    ) -> None:
+        self._platform = platform
+        self._enclave_class = enclave_class
+        self._ctor_args = args
+        self._ctor_kwargs = kwargs
+        self._trusted = trusted
+        self.policy = policy if policy is not None else RetryPolicy()
+        self._handle: "EnclaveHandle" = platform.load_enclave(
+            enclave_class, *args, trusted=trusted, **kwargs
+        )
+        self.side_channel = self._handle.side_channel
+        self.restarts = 0
+        self._sealed_keys: "SealedBlob | None" = None
+        self._quoting = None
+        self._verifier = None
+
+    # ------------------------------------------------------------------
+    # the EnclaveHandle surface
+    # ------------------------------------------------------------------
+    @property
+    def platform(self) -> "SgxPlatform":
+        return self._platform
+
+    @property
+    def trusted(self) -> bool:
+        return self._handle.trusted
+
+    @property
+    def measurement(self) -> "Measurement":
+        return self._handle.measurement
+
+    @property
+    def handle(self) -> "EnclaveHandle":
+        """The currently live handle (changes across restarts)."""
+        return self._handle
+
+    def seal(self, data: bytes, policy: "SealingPolicy | None" = None) -> "SealedBlob":
+        if policy is None:
+            return self._handle.seal(data)
+        return self._handle.seal(data, policy)
+
+    def unseal(self, blob: "SealedBlob") -> bytes:
+        return self._handle.unseal(blob)
+
+    def create_report(self, user_data: bytes):
+        return self._handle.create_report(user_data)
+
+    def destroy(self) -> None:
+        """Deliberate teardown -- the supervisor will NOT resurrect it."""
+        self._handle.destroy()
+
+    # ------------------------------------------------------------------
+    # the resilient ECALL path
+    # ------------------------------------------------------------------
+    def ecall(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Issue an ECALL, restarting the enclave on crashes.
+
+        Raises:
+            RecoveryExhausted: the retry policy gave up, or a restart
+                itself failed (unsealable keys, re-attestation rejected).
+            EnclaveNotInitialized: the handle was deliberately destroyed.
+        """
+        policy = self.policy
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                result = self._handle.ecall(name, *args, **kwargs)
+                if name == "generate_keys":
+                    # Snapshot inside the retried region: a crash anywhere
+                    # between keygen and snapshot re-runs keygen, which is
+                    # consistent because no user has seen the keys yet.
+                    self._sealed_keys = self._handle.ecall("snapshot_keys")
+                return result
+            except EnclaveCrashed as crash:
+                if attempt >= policy.max_attempts:
+                    raise RecoveryExhausted(
+                        f"ECALL {name!r} still crashing after {attempt} attempts"
+                    ) from crash
+                try:
+                    self._restart(name, attempt, crash)
+                except EnclaveCrashed as restart_crash:
+                    # The restart sequence itself was hit; spend an attempt
+                    # and come around again if any remain.
+                    if attempt + 1 >= policy.max_attempts:
+                        raise RecoveryExhausted(
+                            f"enclave restart for ECALL {name!r} keeps crashing"
+                        ) from restart_crash
+                except (SealingError, AttestationError) as fatal:
+                    raise RecoveryExhausted(
+                        f"enclave restart for ECALL {name!r} is unrecoverable: "
+                        f"{fatal}"
+                    ) from fatal
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # restart internals
+    # ------------------------------------------------------------------
+    def _restart(self, ecall_name: str, attempt: int, crash: EnclaveCrashed) -> None:
+        """Backoff, reload, restore sealed keys, re-attest -- as one traced
+        recovery action."""
+        restart = self.restarts + 1
+        with self._platform.tracer.span(
+            "recovery/enclave_restart",
+            kind="span",
+            side_channel=self.side_channel,
+            ecall=ecall_name,
+            attempt=attempt,
+            restart=restart,
+            error=str(crash),
+        ):
+            self._platform.clock.charge(self.policy.delay_s(restart), "fault_backoff")
+            self._handle.destroy()
+            handle = self._platform.load_enclave(
+                self._enclave_class,
+                *self._ctor_args,
+                trusted=self._trusted,
+                **self._ctor_kwargs,
+            )
+            # Keep one log across generations so crossing deltas read by
+            # open tracer spans stay monotonic.
+            handle.side_channel = self.side_channel
+            self.side_channel.record("restart", self._enclave_class.__name__)
+            self._handle = handle
+            self.restarts = restart
+            if self._sealed_keys is not None:
+                nonce = b"enclave-restart|%d" % restart
+                self._handle.ecall("restore_keys", self._sealed_keys, nonce)
+                self._reattest(nonce)
+
+    def _reattest(self, nonce: bytes) -> None:
+        """Prove the restarted instance is the same code on the same
+        platform before trusting it with traffic (Fig. 2 flow, locally)."""
+        from repro.sgx.attestation import AttestationVerificationService, QuotingService
+
+        if self._quoting is None:
+            self._quoting = QuotingService(self._platform)
+            self._verifier = AttestationVerificationService()
+            self._verifier.register_platform(self._quoting)
+        report = self._handle.create_report(nonce)
+        quote = self._quoting.quote(report)
+        self._verifier.verify(
+            quote, expected_mrenclave=self._handle.measurement.mrenclave
+        )

@@ -14,6 +14,7 @@ import math
 
 import numpy as np
 
+from repro import faults
 from repro.errors import EncodingError, NoiseBudgetExhausted
 from repro.he import kernels
 from repro.he.context import Ciphertext, Context, Plaintext
@@ -77,6 +78,10 @@ class Decryptor:
                 ciphertext does not hold scalar-encoded values (overflowed
                 slot or different encoder).
         """
+        if faults.is_armed():
+            faults.inject(
+                "he.noise.decrypt", NoiseBudgetExhausted, name="decrypt_constants"
+            )
         ring = self.context.ring
         params = self.context.params
         acc = self._dot_ntt(ct)
@@ -114,6 +119,8 @@ class Decryptor:
             check_noise: when True, raise :class:`NoiseBudgetExhausted`
                 instead of silently returning garbage if the noise overflowed.
         """
+        if faults.is_armed():
+            faults.inject("he.noise.decrypt", NoiseBudgetExhausted, name="decrypt")
         if check_noise and not self.is_decryptable(ct):
             raise NoiseBudgetExhausted(
                 "ciphertext noise exceeds the decryptable threshold"

@@ -108,6 +108,31 @@ def use(profile: KernelProfile):
         configure(previous)
 
 
+def guard(stage: str) -> None:
+    """Runtime equivalence guard for the fused profile.
+
+    Real deployments cross-check fused kernels against the reference path on
+    sampled inputs; here the check itself is exact by construction, so the
+    only way it trips is through an armed fault plan (site
+    ``he.kernels.guard``).  Pipelines call this at the top of an inference
+    under the FUSED profile and respond to :class:`KernelGuardError` by
+    degrading to REFERENCE and retrying -- graceful degradation instead of
+    serving a (hypothetically) wrong answer.
+    """
+    from repro import faults
+    from repro.errors import KernelGuardError
+
+    if not faults.is_armed() or not _active.fused_layers:
+        return
+    faults.inject("he.kernels.guard", KernelGuardError, name=stage)
+
+
+def degrade_to_reference() -> KernelProfile:
+    """Permanently fall back to the reference profile (returns the prior
+    one).  Used by the recovery path after :func:`guard` trips."""
+    return configure(REFERENCE)
+
+
 def reference_kernels():
     """Context manager selecting the original per-prime/per-tap code path."""
     return use(REFERENCE)

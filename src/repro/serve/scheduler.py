@@ -47,10 +47,12 @@ from repro.core.results import InferenceResult, stages_from_trace
 from repro.errors import (
     BatchTooLargeError,
     QueueFullError,
+    RequestFailedError,
     ResponseNotReady,
     ServeError,
     UnknownModelError,
 )
+from repro.faults import run_with_kernel_degradation
 from repro.he.batching import pack_coefficients
 from repro.he.context import Ciphertext
 
@@ -94,7 +96,9 @@ class ServeStats:
 
     submitted: int = 0
     served: int = 0
+    failed: int = 0
     flushes: int = 0
+    isolations: int = 0
     packed_images: int = 0
     rejected_queue_full: int = 0
     rejected_oversized: int = 0
@@ -312,12 +316,82 @@ class RequestScheduler:
 
     def _flush_model(self, model_name: str) -> int:
         """Run one slot-packed hybrid pass over a model's queued requests
-        and resolve each request with its slice of the encrypted logits."""
-        from repro.core.server import ServedResult
+        and resolve each request with its slice of the encrypted logits.
 
+        Never raises and never leaves a request queued: the bucket is popped
+        up front, and a flush that dies resolves *every* popped request --
+        either by re-running it in isolation (one poisoned request must not
+        sink the batch) or by failing it with a causal
+        :class:`~repro.errors.RequestFailedError`.  A permanently stuck
+        :class:`~repro.errors.ResponseNotReady` is therefore impossible.
+        """
         requests = self._queues.pop(model_name, [])
         if not requests:
             return 0
+        tracer = self.server.platform.tracer
+        try:
+            results = run_with_kernel_degradation(
+                tracer, PACKED_SCHEME, lambda: self._run_packed(model_name, requests)
+            )
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            return self._isolate(model_name, requests, exc)
+        for request, served in zip(requests, results):
+            request.response._resolve(served)
+        self.stats.flushes += 1
+        self.stats.served += len(requests)
+        self.stats.packed_images += sum(r.batch for r in requests)
+        return len(requests)
+
+    def _isolate(self, model_name: str, requests: list[_QueuedRequest], exc: BaseException) -> int:
+        """Recover from a dead packed flush by re-running each request as
+        its own single-request pass; requests that still fail are resolved
+        with a typed :class:`~repro.errors.RequestFailedError` chaining the
+        underlying cause, so callers never hang on ``result()``."""
+        tracer = self.server.platform.tracer
+        self.stats.isolations += 1
+        served = 0
+        with tracer.span(
+            "recovery/request_isolation",
+            kind="span",
+            model=model_name,
+            requests=len(requests),
+            error=str(exc),
+        ):
+            for request in requests:
+                cause: BaseException = exc
+                if len(requests) > 1:
+                    # Injected faults are counted per-site, so the poisoned
+                    # request keeps failing while its batch-mates recover.
+                    try:
+                        request.response._resolve(
+                            self._run_packed(model_name, [request])[0]
+                        )
+                        self.stats.flushes += 1
+                        self.stats.served += 1
+                        self.stats.packed_images += request.batch
+                        served += 1
+                        continue
+                    except Exception as single_exc:  # noqa: BLE001
+                        cause = single_exc
+                failure = RequestFailedError(
+                    f"request {request.request_id} ({model_name!r}) failed "
+                    f"during its packed flush: {cause}"
+                )
+                failure.__cause__ = cause
+                request.response._fail(failure)
+                self.stats.failed += 1
+        return served
+
+    def _run_packed(
+        self, model_name: str, requests: list[_QueuedRequest]
+    ) -> "list[ServedResult]":
+        """One slot-packed pipeline pass; returns one result per request.
+
+        Pure with respect to scheduler state -- no queue or stats mutation,
+        no response resolution -- so callers may retry it safely.
+        """
+        from repro.core.server import ServedResult
+
         server = self.server
         quantized = server.model(model_name)
         encoded = server.encoded_model(model_name)
@@ -339,57 +413,52 @@ class RequestScheduler:
                 name, counter=server.counter, side_channel=enclave.side_channel
             )
 
-        try:
-            with tracer.span(
-                PACKED_SCHEME,
-                kind="pipeline",
-                counter=server.counter,
-                side_channel=enclave.side_channel,
-                model=model_name,
-                requests=len(requests),
-                batch=total,
-                slot_count=self.slot_count,
-            ) as trace:
-                with stage("pack"):
-                    # Host side: fold the B stacked requests into polynomial
-                    # coefficients homomorphically, so the enclave decrypts
-                    # one ciphertext per pixel position instead of B.
-                    folded = pack_coefficients(server.evaluator, stacked)
-                    packed = enclave.ecall("pack_slots", folded, total)
-                with stage("conv"):
-                    conv = heops.he_conv2d(
-                        server.evaluator, server.encoder, packed, encoded.conv
-                    )
-                with stage("sgx_activation_pool"):
-                    hidden = enclave.ecall(
-                        "activation_pool_simd",
-                        conv,
-                        quantized.conv_output_scale,
-                        quantized.act_scale,
-                        quantized.pool_window,
-                        quantized.activation,
-                        quantized.pool,
-                    )
-                with stage("fc"):
-                    logits_packed = heops.he_dense(
-                        server.evaluator, server.encoder, hidden, encoded.dense
-                    )
-                with stage("unpack"):
-                    logits_ct = enclave.ecall("unpack_slots", logits_packed, total)
-                for r in requests:
-                    with tracer.span(
-                        "serve/request",
-                        request_id=r.request_id,
-                        model=model_name,
-                        queue_wait_s=flushed_at - r.enqueued_at,
-                        queue_depth_at_submit=r.queue_depth_at_submit,
-                        batch=r.batch,
-                    ):
-                        pass
-        except Exception as exc:
+        with tracer.span(
+            PACKED_SCHEME,
+            kind="pipeline",
+            counter=server.counter,
+            side_channel=enclave.side_channel,
+            model=model_name,
+            requests=len(requests),
+            batch=total,
+            slot_count=self.slot_count,
+        ) as trace:
+            with stage("pack"):
+                # Host side: fold the B stacked requests into polynomial
+                # coefficients homomorphically, so the enclave decrypts
+                # one ciphertext per pixel position instead of B.
+                folded = pack_coefficients(server.evaluator, stacked)
+                packed = enclave.ecall("pack_slots", folded, total)
+            with stage("conv"):
+                conv = heops.he_conv2d(
+                    server.evaluator, server.encoder, packed, encoded.conv
+                )
+            with stage("sgx_activation_pool"):
+                hidden = enclave.ecall(
+                    "activation_pool_simd",
+                    conv,
+                    quantized.conv_output_scale,
+                    quantized.act_scale,
+                    quantized.pool_window,
+                    quantized.activation,
+                    quantized.pool,
+                )
+            with stage("fc"):
+                logits_packed = heops.he_dense(
+                    server.evaluator, server.encoder, hidden, encoded.dense
+                )
+            with stage("unpack"):
+                logits_ct = enclave.ecall("unpack_slots", logits_packed, total)
             for r in requests:
-                r.response._fail(exc)
-            raise
+                with tracer.span(
+                    "serve/request",
+                    request_id=r.request_id,
+                    model=model_name,
+                    queue_wait_s=flushed_at - r.enqueued_at,
+                    queue_depth_at_submit=r.queue_depth_at_submit,
+                    batch=r.batch,
+                ):
+                    pass
 
         timing = InferenceResult(
             logits=np.zeros((total, encoded.dense.out_features)),
@@ -399,9 +468,10 @@ class RequestScheduler:
             enclave_crossings=trace.crossings,
             trace=trace,
         )
+        results = []
         offset = 0
         for r in requests:
-            r.response._resolve(
+            results.append(
                 ServedResult(
                     logits_ct=logits_ct[offset : offset + r.batch],
                     timing=timing,
@@ -411,7 +481,4 @@ class RequestScheduler:
                 )
             )
             offset += r.batch
-        self.stats.flushes += 1
-        self.stats.served += len(requests)
-        self.stats.packed_images += total
-        return len(requests)
+        return results

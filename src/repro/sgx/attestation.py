@@ -25,6 +25,7 @@ import hmac
 import os
 from dataclasses import dataclass
 
+from repro import faults
 from repro.errors import AttestationError
 from repro.sgx.measurement import Measurement
 
@@ -88,6 +89,13 @@ class QuotingService:
             AttestationError: the report was not produced by a genuine
                 enclave on this platform.
         """
+        if faults.is_armed():
+            faults.inject(
+                "sgx.attestation.quote",
+                AttestationError,
+                name=report.measurement.mrenclave,
+                platform_id=self.platform_id,
+            )
         if not report.verify_mac(self.platform.report_key):
             raise AttestationError("report MAC invalid: not from this platform")
         self.platform.clock.charge(self.platform.cost_model.quote_s, "attestation")
@@ -139,6 +147,13 @@ class AttestationVerificationService:
             AttestationError: unknown platform, bad signature, or identity
                 mismatch.
         """
+        if faults.is_armed():
+            faults.inject(
+                "sgx.attestation.verify",
+                AttestationError,
+                name=quote.measurement.mrenclave,
+                platform_id=quote.platform_id,
+            )
         key = self._platforms.get(quote.platform_id)
         if key is None:
             raise AttestationError(f"platform {quote.platform_id} is not registered")

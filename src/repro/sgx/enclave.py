@@ -20,7 +20,8 @@ from __future__ import annotations
 import os
 from typing import Any
 
-from repro.errors import EnclaveError, EnclaveNotInitialized
+from repro import faults
+from repro.errors import EnclaveCrashed, EnclaveError, EnclaveNotInitialized
 from repro.obs.tracer import Tracer
 from repro.sgx import sealing
 from repro.sgx.clock import SimClock
@@ -136,6 +137,7 @@ class EnclaveHandle:
         self.trusted = trusted
         self.side_channel = SideChannelLog()
         self._destroyed = False
+        self._crashed = False
         self.side_channel.record("create", type(instance).__name__)
 
     @property
@@ -151,14 +153,23 @@ class EnclaveHandle:
         Raises:
             EnclaveError: unknown or undecorated method.
             EnclaveNotInitialized: the handle was destroyed.
+            EnclaveCrashed: the enclave was lost (AEX); a supervisor may
+                reload it, a bare handle stays unusable.
         """
         if self._destroyed:
             raise EnclaveNotInitialized("enclave handle was destroyed")
+        if self._crashed:
+            raise EnclaveCrashed(
+                f"enclave {type(self._instance).__name__} was lost (AEX); "
+                "reload it before issuing ECALLs"
+            )
         method = getattr(self._instance, name, None)
         if method is None or not is_ecall(getattr(type(self._instance), name, None)):
             raise EnclaveError(
                 f"{type(self._instance).__name__}.{name} is not an ECALL entry point"
             )
+        if faults.is_armed():
+            self._maybe_crash(name)
         clock = self._platform.clock
         model = self._platform.cost_model
         bytes_in = sum(estimate_bytes(a) for a in args) + sum(
@@ -197,6 +208,35 @@ class EnclaveHandle:
                 "ecall", name, bytes_in=bytes_in, bytes_out=bytes_out
             )
         return result
+
+    def _maybe_crash(self, name: str) -> None:
+        """Consult the armed fault plan; an event here is an AEX: the
+        enclave's volatile state is gone and the handle is lost until a
+        supervisor reloads it."""
+        event = faults.poll(
+            "sgx.ecall",
+            name=name,
+            enclave=type(self._instance).__name__,
+            trusted=self.trusted,
+        )
+        if event is None:
+            return
+        self._crashed = True
+        self.side_channel.record("aex", name)
+        with self._platform.tracer.span(
+            "fault/sgx.ecall",
+            kind="span",
+            side_channel=self.side_channel,
+            ecall=name,
+            hit=event.hit,
+            fire=event.fire,
+        ):
+            pass
+        error = event.rule.error if event.rule.error is not None else EnclaveCrashed
+        raise error(
+            f"injected AEX during ECALL {name!r} "
+            f"(hit {event.hit}, fire {event.fire})"
+        )
 
     def seal(
         self,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro import faults
 from repro.errors import EnclaveMemoryError
 from repro.sgx.clock import SimClock
 from repro.sgx.costmodel import PAGE_SIZE, SgxCostModel
@@ -87,6 +88,21 @@ class EpcManager:
         for page in allocation.resident_pages:
             self._resident.pop((handle, page), None)
 
+    def evict_all(self) -> int:
+        """Evict every resident page (the OS reclaiming the EPC under
+        memory pressure); returns the page count.  Subsequent touches fault
+        everything back in -- results are unchanged, paging costs accrue."""
+        evicted = len(self._resident)
+        for handle, page in list(self._resident):
+            allocation = self._allocations.get(handle)
+            if allocation is not None:
+                allocation.resident_pages.discard(page)
+        self._resident.clear()
+        self.stats.evictions += evicted
+        if evicted:
+            self.clock.charge(self.cost_model.paging_overhead_s(evicted), "epc_paging")
+        return evicted
+
     def touch(self, handle: int) -> None:
         """Access every page of an allocation (full read or write pass).
 
@@ -95,6 +111,16 @@ class EpcManager:
         allocation = self._allocations.get(handle)
         if allocation is None:
             raise EnclaveMemoryError(f"unknown allocation handle {handle}")
+        if faults.is_armed():
+            event = faults.poll(
+                "sgx.epc.touch", pages=allocation.pages, resident=len(self._resident)
+            )
+            if event is not None:
+                if event.rule.error is not None:
+                    raise event.rule.error(
+                        f"injected EPC fault (hit {event.hit}, fire {event.fire})"
+                    )
+                self.evict_all()
         if allocation.pages > self._capacity_pages:
             # A single object larger than the EPC thrashes: every pass evicts
             # and reloads the whole object.

@@ -18,6 +18,7 @@ import struct
 from dataclasses import dataclass
 from enum import Enum
 
+from repro import faults
 from repro.errors import SealingError
 
 
@@ -82,6 +83,14 @@ def unseal(
     Raises:
         SealingError: wrong enclave identity, wrong platform, or tampering.
     """
+    if faults.is_armed():
+        faults.inject(
+            "sgx.sealing.unseal",
+            SealingError,
+            name=mrenclave,
+            policy=blob.policy.value,
+            bytes=len(blob.ciphertext),
+        )
     identity = mrenclave if blob.policy is SealingPolicy.MRENCLAVE else mrsigner
     key = _derive_key(platform_secret, identity, blob.policy)
     expected = hmac.new(key, blob.nonce + blob.ciphertext, hashlib.sha256).digest()

@@ -1,0 +1,72 @@
+"""Disarmed (or non-matching) fault injection must be invisible.
+
+The acceptance bar from the issue: with no armed plan -- or with a plan whose
+rules never match -- the fault layer may not perturb a single byte.  We prove
+it at two levels: raw ciphertext wire bytes, and end-to-end pipeline logits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultRule
+from repro.he import (
+    Context,
+    KeyGenerator,
+    ScalarEncoder,
+    SymmetricEncryptor,
+    small_parameter_options,
+)
+from repro.he.serialize import deserialize_ciphertext, serialize_ciphertext
+
+from .conftest import PIPELINE_KINDS
+
+
+def encrypt_bytes(seed: int) -> bytes:
+    """One deterministic encrypt + serialize round, isolated RNG."""
+    context = Context(small_parameter_options()[256])
+    rng = np.random.default_rng(seed)
+    keys = KeyGenerator(context, rng).generate()
+    encryptor = SymmetricEncryptor(context, keys.secret, rng)
+    plain = ScalarEncoder(context).encode(np.arange(-4, 4, dtype=np.int64))
+    ct = encryptor.encrypt(plain)
+    data = serialize_ciphertext(ct)
+    # Round-trip while we are at it: deserialization must also be untouched.
+    assert np.array_equal(deserialize_ciphertext(data, context).data, ct.data)
+    return data
+
+
+#: A plan that is armed but can never match any real site.
+def decoy_plan() -> FaultPlan:
+    return FaultPlan(
+        99, rules=[FaultRule(site="no.such.site", name="never", max_fires=None)]
+    )
+
+
+class TestZeroOverhead:
+    def test_ciphertext_bytes_identical_disarmed_vs_decoy_armed(self):
+        baseline = encrypt_bytes(seed=7)
+        plan = decoy_plan()
+        with faults.armed(plan):
+            armed = encrypt_bytes(seed=7)
+        assert armed == baseline
+        assert plan.fires() == 0
+
+    @pytest.mark.parametrize("kind", PIPELINE_KINDS)
+    def test_pipeline_logits_identical_disarmed_vs_decoy_armed(
+        self, make_pipeline, baseline_logits, test_images, kind
+    ):
+        expected = baseline_logits(kind)
+        plan = decoy_plan()
+        with faults.armed(plan):
+            result = make_pipeline(kind).infer(test_images)
+        assert np.array_equal(result.logits, expected)
+        assert plan.fires() == 0
+        assert plan.events == []
+
+    def test_disarmed_is_the_default_state(self):
+        assert not faults.is_armed()
+        assert faults.active_plan() is None
+        assert faults.poll("sgx.ecall", name="anything") is None

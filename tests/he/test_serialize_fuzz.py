@@ -1,0 +1,211 @@
+"""Seeded property tests for the hardened wire format.
+
+The parser contract (serialize.py): any serialize -> deserialize round-trip
+is exact, and *any* malformed payload -- truncated at an arbitrary point,
+any single bit flipped, or a hostile hand-crafted header that passes the
+CRC -- raises :class:`~repro.errors.SerializationError`.  Never garbage
+objects, never a raw ``struct.error`` and never an allocation bomb.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.errors import ReproError, SerializationError
+from repro.faults import FaultPlan, FaultRule
+from repro.he.serialize import (
+    deserialize_ciphertext,
+    deserialize_int64_arrays,
+    deserialize_public_key,
+    deserialize_relin_keys,
+    deserialize_secret_key,
+    serialize_ciphertext,
+    serialize_int64_arrays,
+    serialize_public_key,
+    serialize_relin_keys,
+    serialize_secret_key,
+)
+
+FUZZ_SEED = 20210610  # the paper's conference date; any fixed seed works
+TRIALS = 40
+
+
+def forge(kind: int, count: int, extra: int, raw: bytes) -> bytes:
+    """Hand-craft a payload with a *valid* CRC over hostile contents."""
+    body = struct.pack("<BBI", kind, count, extra) + raw
+    return b"RPRO" + struct.pack("<I", zlib.crc32(body)) + body
+
+
+@pytest.fixture(scope="module")
+def payloads(context, keypair, relin_keys, sym_encryptor, encoder):
+    """One serialized payload per object kind, with its deserializer."""
+    ct = sym_encryptor.encrypt(encoder.encode(np.arange(-3, 3, dtype=np.int64)))
+    arrays = [np.arange(12, dtype=np.int64).reshape(3, 4), np.int64([7])]
+    return {
+        "secret_key": (
+            serialize_secret_key(keypair.secret),
+            lambda d: deserialize_secret_key(d, context),
+        ),
+        "public_key": (
+            serialize_public_key(keypair.public),
+            lambda d: deserialize_public_key(d, context),
+        ),
+        "relin_keys": (
+            serialize_relin_keys(relin_keys),
+            lambda d: deserialize_relin_keys(d, context),
+        ),
+        "ciphertext": (
+            serialize_ciphertext(ct),
+            lambda d: deserialize_ciphertext(d, context),
+        ),
+        "int64_arrays": (serialize_int64_arrays(arrays, extra=9), deserialize_int64_arrays),
+    }
+
+
+class TestRoundTrips:
+    def test_every_kind_round_trips_exactly(
+        self, context, keypair, relin_keys, sym_encryptor, encoder, decryptor
+    ):
+        sk = deserialize_secret_key(serialize_secret_key(keypair.secret), context)
+        assert np.array_equal(sk.s_ntt, keypair.secret.s_ntt)
+        pk = deserialize_public_key(serialize_public_key(keypair.public), context)
+        assert np.array_equal(pk.p0_ntt, keypair.public.p0_ntt)
+        assert np.array_equal(pk.p1_ntt, keypair.public.p1_ntt)
+        rk = deserialize_relin_keys(serialize_relin_keys(relin_keys), context)
+        assert rk.decomposition_bits == relin_keys.decomposition_bits
+        values = np.arange(-3, 3, dtype=np.int64)
+        ct = sym_encryptor.encrypt(encoder.encode(values))
+        back = deserialize_ciphertext(serialize_ciphertext(ct), context)
+        assert np.array_equal(
+            encoder.decode(decryptor.decrypt(back)), values
+        )
+
+    def test_random_array_shapes_round_trip(self):
+        rng = np.random.default_rng(FUZZ_SEED)
+        for _ in range(TRIALS):
+            # rank >= 1: _pack's ascontiguousarray promotes 0-d to 1-d, so
+            # rank-0 is outside the format (and no payload ever uses it).
+            ndim = int(rng.integers(1, 5))
+            shape = tuple(int(d) for d in rng.integers(1, 5, size=ndim))
+            arrays = [
+                rng.integers(-(2**62), 2**62, size=shape, dtype=np.int64)
+                for _ in range(int(rng.integers(1, 4)))
+            ]
+            extra = int(rng.integers(0, 2**32))
+            back, back_extra = deserialize_int64_arrays(
+                serialize_int64_arrays(arrays, extra=extra)
+            )
+            assert back_extra == extra
+            assert len(back) == len(arrays)
+            for a, b in zip(arrays, back):
+                assert np.array_equal(a, b)
+
+
+class TestSeededCorruption:
+    def test_any_truncation_point_raises_typed(self, payloads):
+        rng = np.random.default_rng(FUZZ_SEED)
+        for name, (data, load) in payloads.items():
+            cuts = rng.integers(0, len(data), size=TRIALS)
+            for cut in cuts:
+                with pytest.raises(SerializationError):
+                    load(data[: int(cut)])
+
+    def test_any_single_bitflip_raises_typed(self, payloads):
+        """CRC32 detects every single-bit error, whether it lands in the
+        magic, the CRC field itself, the header or the body."""
+        rng = np.random.default_rng(FUZZ_SEED + 1)
+        for name, (data, load) in payloads.items():
+            for _ in range(TRIALS):
+                position = int(rng.integers(0, len(data)))
+                bit = int(rng.integers(0, 8))
+                flipped = bytearray(data)
+                flipped[position] ^= 1 << bit
+                with pytest.raises(SerializationError):
+                    load(bytes(flipped))
+
+    def test_serialization_error_is_a_repro_error(self):
+        assert issubclass(SerializationError, ReproError)
+
+
+class TestHostileHeaders:
+    """CRC-valid payloads whose *contents* lie: the parser must reject them
+    with a typed error instead of allocating or crashing inside numpy."""
+
+    def test_wrong_kind_rejected(self):
+        data = forge(kind=2, count=0, extra=0, raw=b"")
+        with pytest.raises(SerializationError, match="kind"):
+            deserialize_int64_arrays(data)
+
+    def test_implausible_rank_rejected(self):
+        data = forge(kind=5, count=1, extra=0, raw=struct.pack("<B", 200))
+        with pytest.raises(SerializationError, match="rank"):
+            deserialize_int64_arrays(data)
+
+    def test_negative_dimension_rejected(self):
+        raw = struct.pack("<B", 1) + struct.pack("<q", -8)
+        with pytest.raises(SerializationError, match="negative"):
+            deserialize_int64_arrays(forge(kind=5, count=1, extra=0, raw=raw))
+
+    def test_allocation_bomb_rejected_cheaply(self):
+        """A claimed 2^60-element array must fail the bounds check, not
+        attempt a petabyte allocation."""
+        raw = struct.pack("<B", 1) + struct.pack("<q", 2**60)
+        with pytest.raises(SerializationError, match="overruns"):
+            deserialize_int64_arrays(forge(kind=5, count=1, extra=0, raw=raw))
+
+    def test_body_overrun_rejected(self):
+        raw = struct.pack("<B", 1) + struct.pack("<q", 4) + b"\x00" * 8  # claims 32
+        with pytest.raises(SerializationError, match="overruns"):
+            deserialize_int64_arrays(forge(kind=5, count=1, extra=0, raw=raw))
+
+    def test_trailing_bytes_rejected(self):
+        raw = struct.pack("<B", 0) + b"\x00" * 8 + b"junk"
+        with pytest.raises(SerializationError, match="trailing"):
+            deserialize_int64_arrays(forge(kind=5, count=1, extra=0, raw=raw))
+
+    def test_count_without_bodies_rejected(self):
+        data = forge(kind=5, count=3, extra=0, raw=b"")
+        with pytest.raises(SerializationError):
+            deserialize_int64_arrays(data)
+
+
+class TestInjectedChannelFaults:
+    """The he.serialize.deserialize fault site models corruption in the
+    untrusted channel; the hardened parser is the recovery mechanism."""
+
+    @pytest.fixture(autouse=True)
+    def disarmed(self):
+        faults.disarm()
+        yield
+        faults.disarm()
+
+    @pytest.mark.parametrize("action", ["bitflip", "truncate"])
+    def test_injected_corruption_is_caught_by_the_parser(self, action):
+        data = serialize_int64_arrays([np.arange(6, dtype=np.int64)])
+        plan = FaultPlan(
+            5, rules=[FaultRule(site="he.serialize.deserialize", action=action)]
+        )
+        with faults.armed(plan):
+            with pytest.raises(SerializationError):
+                deserialize_int64_arrays(data)
+            # Rule spent: the same bytes now parse fine.
+            back, _ = deserialize_int64_arrays(data)
+        assert np.array_equal(back[0], np.arange(6))
+        assert plan.fires("he.serialize.deserialize") == 1
+
+    def test_injected_error_rule_raises_directly(self):
+        data = serialize_int64_arrays([np.arange(3, dtype=np.int64)])
+        plan = FaultPlan(
+            5,
+            rules=[
+                FaultRule(site="he.serialize.deserialize", error=SerializationError)
+            ],
+        )
+        with faults.armed(plan):
+            with pytest.raises(SerializationError, match="injected"):
+                deserialize_int64_arrays(data)
