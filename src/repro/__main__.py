@@ -11,6 +11,11 @@ Options:
     python -m repro --smoke            # minimal dimensions/training (CI)
     python -m repro --trace-json PATH  # export the run's trace as JSON
                                        # (PATH of "-" writes to stdout)
+    python -m repro --metrics          # run a short serving + fault-recovery
+                                       # segment and print the process-wide
+                                       # metrics in Prometheus exposition
+    python -m repro --metrics-json PATH  # same, dumping the MetricsSnapshot
+                                         # as JSON ("-" writes to stdout)
 """
 
 from __future__ import annotations
@@ -20,7 +25,13 @@ import sys
 import numpy as np
 
 def _parse(argv: list[str]) -> tuple[dict[str, object], int | None]:
-    opts: dict[str, object] = {"paper": False, "smoke": False, "trace_json": None}
+    opts: dict[str, object] = {
+        "paper": False,
+        "smoke": False,
+        "trace_json": None,
+        "metrics": False,
+        "metrics_json": None,
+    }
     args = list(argv)
     while args:
         arg = args.pop(0)
@@ -29,6 +40,13 @@ def _parse(argv: list[str]) -> tuple[dict[str, object], int | None]:
                 print(__doc__)
                 return opts, 2
             opts["trace_json"] = args.pop(0)
+        elif arg == "--metrics":
+            opts["metrics"] = True
+        elif arg == "--metrics-json":
+            if not args:
+                print(__doc__)
+                return opts, 2
+            opts["metrics_json"] = args.pop(0)
         elif arg == "--paper":
             opts["paper"] = True
         elif arg == "--smoke":
@@ -42,19 +60,62 @@ def _parse(argv: list[str]) -> tuple[dict[str, object], int | None]:
     return opts, None
 
 
+def _metrics_demo(models, quantized) -> None:
+    """Exercise the serving scheduler under a benign armed fault plan.
+
+    Populates the serve, fault/recovery, SGX and HE metric families in one
+    short segment: a batching edge server flushes two packed batches while
+    the plan crashes one ``activation_pool`` ECALL (recovered by the
+    supervisor) and triggers one EPC eviction storm (results unchanged,
+    paging costs accrue).
+    """
+    from repro import faults
+    from repro.core import EdgeServer, parameters_for_pipeline
+    from repro.errors import EnclaveCrashed
+    from repro.sgx import AttestationVerificationService
+
+    params = parameters_for_pipeline(quantized, 256, batching=True)
+    plan = faults.FaultPlan(
+        seed=5,
+        rules=[
+            faults.FaultRule(
+                site="sgx.ecall", name="activation_pool*", error=EnclaveCrashed,
+                max_fires=1,
+            ),
+            faults.FaultRule(site="sgx.epc.touch", action="evict_all", after=3,
+                             max_fires=1),
+        ],
+    )
+    server = EdgeServer(params, seed=13)
+    server.provision_model("digits", quantized)
+    verifier = AttestationVerificationService()
+    verifier.register_platform(server.quoting)
+    session = server.enroll_user(entropy=b"\x42" * 32, verifier=verifier)
+    images = models.dataset.test_images
+    with faults.armed(plan):
+        for round_start in (0, 2):
+            for i in range(round_start, round_start + 2):
+                server.scheduler.submit("digits", session.encrypt("digits", images[i : i + 1]))
+            server.scheduler.drain("digits")
+    print(f"serving segment: 4 requests in 2 packed flushes, "
+          f"{plan.fires()} fault(s) fired, "
+          f"{server.enclave.restarts} enclave restart(s)")
+
+
 def main(argv: list[str]) -> int:
     opts, early = _parse(argv)
     if early is not None:
         return early
-    trace_path = opts["trace_json"]
-    if trace_path is not None and trace_path != "-":
-        # Fail before the training run, not after it.
-        try:
-            with open(str(trace_path), "a", encoding="utf-8"):
-                pass
-        except OSError as exc:
-            print(f"error: cannot write --trace-json path {trace_path}: {exc}")
-            return 2
+    for opt_name, flag in (("trace_json", "--trace-json"), ("metrics_json", "--metrics-json")):
+        path = opts[opt_name]
+        if path is not None and path != "-":
+            # Fail before the training run, not after it.
+            try:
+                with open(str(path), "a", encoding="utf-8"):
+                    pass
+            except OSError as exc:
+                print(f"error: cannot write {flag} path {path}: {exc}")
+                return 2
 
     from repro.bench import format_trace
     from repro.core import (
@@ -103,6 +164,23 @@ def main(argv: list[str]) -> int:
     print(f"\nencrypted == plaintext logits: {exact}")
     print(f"predictions: {result.predictions.tolist()} "
           f"(labels: {models.dataset.test_labels[:4].tolist()})")
+
+    if opts["metrics"] or opts["metrics_json"] is not None:
+        from repro.obs import metrics
+
+        print()
+        _metrics_demo(models, quantized)
+        if opts["metrics"]:
+            print("\n== metrics (Prometheus exposition) ==")
+            print(metrics.registry().render_prometheus())
+        if opts["metrics_json"] is not None:
+            text = metrics.registry().collect().to_json()
+            if opts["metrics_json"] == "-":
+                print(text)
+            else:
+                with open(str(opts["metrics_json"]), "w", encoding="utf-8") as fh:
+                    fh.write(text + "\n")
+                print(f"metrics snapshot written to {opts['metrics_json']}")
     return 0 if exact else 1
 
 

@@ -48,6 +48,7 @@ from repro.he.encryptor import Encryptor
 from repro.he.evaluator import Evaluator, OperationCounter
 from repro.he.params import EncryptionParams
 from repro.nn.quantize import QuantizedCNN
+from repro.obs import metrics
 from repro.sgx.attestation import AttestationVerificationService, QuotingService
 from repro.sgx.enclave import SgxPlatform
 from repro.sgx.sealing import SealedBlob
@@ -203,6 +204,19 @@ class EdgeServer:
         self._encoded[name] = heops.encode_model_weights(
             self.evaluator, self.encoder, quantized
         )
+        registry = metrics.registry()
+        if registry.enabled:
+            from repro.he.noise import NoiseEstimator
+
+            headroom_gauge = registry.gauge(
+                "repro_he_noise_budget_bits",
+                "Estimated remaining invariant-noise budget per encrypted "
+                "layer (SGX refresh resets each layer to fresh noise).",
+                ("layer", "model"),
+            )
+            estimator = NoiseEstimator(self.params)
+            for layer, bits in estimator.layer_headroom(quantized).items():
+                headroom_gauge.labels(model=name, layer=layer).set(bits)
 
     def seal_model(self, name: str) -> SealedBlob:
         """Persist a provisioned model as a sealed blob for untrusted storage.

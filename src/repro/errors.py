@@ -40,6 +40,16 @@ class KernelGuardError(ReproError, RuntimeError):
     """
 
 
+class MetricsError(ReproError, ValueError):
+    """A metrics-registry family or sample was misused (negative counter
+    increment, label mismatch, conflicting re-registration)."""
+
+
+class TraceFormatError(ReproError, ValueError):
+    """An exported trace document is malformed (unknown span kind, missing
+    required fields) and cannot be rebuilt into a span tree."""
+
+
 class KeyMismatchError(ReproError, ValueError):
     """An operation mixed keys or ciphertexts from different contexts."""
 

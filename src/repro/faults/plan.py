@@ -154,6 +154,15 @@ class FaultPlan:
                 site=site, rule=rule, hit=hit, fire=fires + 1, context=dict(context)
             )
             self.events.append(event)
+            # Only fired events reach the registry; the disarmed path never
+            # gets here, preserving the zero-overhead property.
+            from repro.obs import metrics
+
+            metrics.registry().counter(
+                "repro_fault_fires_total",
+                "Injected faults fired from the armed plan, by site.",
+                ("site",),
+            ).labels(site=site).inc()
             return event
         return None
 

@@ -83,7 +83,9 @@ def run_with_kernel_degradation(tracer, scheme: str, fn):
     """
     from repro.errors import KernelGuardError
     from repro.he import kernels
+    from repro.obs import metrics
 
+    kernels.record_active_profile()
     try:
         kernels.guard(scheme)
         return fn()
@@ -92,6 +94,11 @@ def run_with_kernel_degradation(tracer, scheme: str, fn):
             "recovery/kernel_degrade", kind="span", scheme=scheme, error=str(trip)
         ):
             kernels.degrade_to_reference()
+            metrics.registry().counter(
+                "repro_recovery_kernel_degradations_total",
+                "FUSED -> REFERENCE kernel profile degradations.",
+                ("scheme",),
+            ).labels(scheme=scheme).inc()
         return fn()
 
 
@@ -231,6 +238,18 @@ class EnclaveSupervisor:
             restart=restart,
             error=str(crash),
         ):
+            from repro.obs import metrics
+
+            registry = metrics.registry()
+            registry.counter(
+                "repro_recovery_enclave_restarts_total",
+                "Enclave restarts performed by the supervisor, by failed ECALL.",
+                ("ecall",),
+            ).labels(ecall=ecall_name).inc()
+            registry.counter(
+                "repro_recovery_backoff_seconds_total",
+                "Simulated seconds charged as restart backoff.",
+            ).inc(self.policy.delay_s(restart))
             self._platform.clock.charge(self.policy.delay_s(restart), "fault_backoff")
             self._handle.destroy()
             handle = self._platform.load_enclave(

@@ -90,11 +90,33 @@ def active() -> KernelProfile:
     return _active
 
 
+def record_active_profile() -> None:
+    """Publish the active profile as a one-hot gauge family.
+
+    ``repro_he_kernel_profile{mode=...}`` is 1 for the active mode and 0
+    for the others, so dashboards can plot FUSED -> REFERENCE degradations
+    as a step change.
+    """
+    from repro.obs import metrics
+
+    registry = metrics.registry()
+    if not registry.enabled:
+        return
+    gauge = registry.gauge(
+        "repro_he_kernel_profile",
+        "Active hot-path kernel profile (one-hot over modes).",
+        ("mode",),
+    )
+    for mode in ("fused", "reference", "custom"):
+        gauge.labels(mode=mode).set(1.0 if mode == _active.mode_name else 0.0)
+
+
 def configure(profile: KernelProfile) -> KernelProfile:
     """Install ``profile`` globally; returns the previously active one."""
     global _active
     previous = _active
     _active = profile
+    record_active_profile()
     return previous
 
 

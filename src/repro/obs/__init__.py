@@ -7,29 +7,59 @@ bookkeeping the pipelines used to hand-roll.  A :class:`Tracer` bound to a
 category, homomorphic-operation deltas, and enclave-crossing counts; traces
 export to JSON or a flat Prometheus-style metrics dict.
 
-See DESIGN.md ("Observability") for the span schema and the timing
-invariant the layer makes enforceable.
+The aggregate half is :mod:`repro.obs.metrics`: a process-wide
+:class:`MetricsRegistry` of counters, gauges and histograms that every
+layer (serve scheduler, fault/recovery, SGX substrate, HE substrate)
+instruments, with full Prometheus exposition and a JSON
+:class:`MetricsSnapshot`.  Finished ``pipeline`` traces roll up into the
+registry automatically (:meth:`MetricsRegistry.record_trace`), so the
+per-run trace view and the fleet metrics view reconcile by construction.
+
+See DESIGN.md ("Observability" and "Metrics & regression gating") for the
+span schema, the timing invariant, and the metric family inventory.
 """
 
 from repro.obs.export import (
     metrics_from_trace,
     render_prometheus,
+    samples_from_trace,
     trace_from_dict,
     trace_from_json,
     trace_to_dict,
     trace_to_json,
 )
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    registry,
+    set_registry,
+    use_registry,
+)
 from repro.obs.tracer import SPAN_KINDS, Span, Tracer, reconcile
 
 __all__ = [
+    "LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
     "SPAN_KINDS",
     "Span",
     "Tracer",
     "metrics_from_trace",
     "reconcile",
+    "registry",
     "render_prometheus",
+    "samples_from_trace",
+    "set_registry",
     "trace_from_dict",
     "trace_from_json",
     "trace_to_dict",
     "trace_to_json",
+    "use_registry",
 ]

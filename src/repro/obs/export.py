@@ -8,14 +8,39 @@ Two consumers, two shapes:
 * :func:`metrics_from_trace` -- a flat ``{metric_name: value}`` dict using
   Prometheus exposition-style names with ``{label="value"}`` selectors, the
   form the benchmark tables and a scrape endpoint would consume directly.
-  :func:`render_prometheus` turns that dict into exposition text lines.
+  :func:`render_prometheus` turns that dict into exposition text (with
+  ``# HELP``/``# TYPE`` metadata per family).
+
+Both flat views are built from one structured intermediate,
+:func:`samples_from_trace`, which
+:meth:`repro.obs.metrics.MetricsRegistry.record_trace` replays as counter
+increments -- the construction that keeps the single-trace view and the
+aggregate registry reconciled sample-for-sample.
 """
 
 from __future__ import annotations
 
 import json
 
-from repro.obs.tracer import Span
+from repro.errors import TraceFormatError
+from repro.obs.metrics import escape_help, format_labels
+from repro.obs.tracer import SPAN_KINDS, Span
+
+#: Exposition metadata for the trace-derived families (unprefixed names).
+TRACE_FAMILY_HELP = {
+    "pipeline_real_seconds": "Measured compute seconds per pipeline trace.",
+    "pipeline_overhead_seconds": "Modeled SGX overhead seconds per pipeline trace.",
+    "pipeline_crossings_total": "Enclave crossings per pipeline trace.",
+    "stage_real_seconds": "Measured compute seconds per pipeline stage.",
+    "stage_overhead_seconds": "Modeled SGX overhead seconds per pipeline stage.",
+    "overhead_seconds": "SGX overhead decomposition by cost-model category.",
+    "he_ops_total": "Scalar homomorphic operations by kind.",
+    "ecall_count": "ECALL invocations by entry point.",
+    "ecall_bytes_total": "Bytes marshalled across the boundary by entry point.",
+}
+
+#: All trace-derived families accumulate monotonically across traces.
+TRACE_FAMILY_TYPES = {name: "counter" for name in TRACE_FAMILY_HELP}
 
 
 def trace_to_dict(span: Span) -> dict:
@@ -29,10 +54,27 @@ def trace_to_json(span: Span, indent: int | None = 2) -> str:
 
 
 def trace_from_dict(doc: dict) -> Span:
-    """Rebuild a span tree from its :func:`trace_to_dict` form."""
+    """Rebuild a span tree from its :func:`trace_to_dict` form.
+
+    Raises:
+        TraceFormatError: the document is missing required fields or names
+            a ``kind`` outside :data:`~repro.obs.tracer.SPAN_KINDS` -- a
+            hand-edited or corrupted export must fail loudly instead of
+            silently rebuilding a tree no tracer could have produced.
+    """
+    if not isinstance(doc, dict):
+        raise TraceFormatError(f"span document must be a dict, got {type(doc).__name__}")
+    missing = [key for key in ("name", "kind", "real_s", "overhead_s") if key not in doc]
+    if missing:
+        raise TraceFormatError(f"span document is missing required fields {missing}")
+    kind = doc["kind"]
+    if kind not in SPAN_KINDS:
+        raise TraceFormatError(
+            f"unknown span kind {kind!r} in trace document; expected one of {SPAN_KINDS}"
+        )
     return Span(
         name=doc["name"],
-        kind=doc["kind"],
+        kind=kind,
         real_s=doc["real_s"],
         overhead_s=doc["overhead_s"],
         overhead_by_category=dict(doc.get("overhead_by_category", {})),
@@ -49,12 +91,20 @@ def trace_from_json(text: str) -> Span:
 
 
 def _labels(**labels: str) -> str:
-    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()) if v != "")
-    return "{" + inner + "}" if inner else ""
+    """Exposition label selector; values are escaped (backslash, quote,
+    newline), so hostile span or model names cannot break the line format."""
+    return format_labels(labels)
 
 
-def metrics_from_trace(span: Span, prefix: str = "repro") -> dict[str, float]:
-    """Flatten one pipeline trace into a Prometheus-style metrics dict.
+def samples_from_trace(
+    span: Span, prefix: str = "repro"
+) -> list[tuple[str, dict[str, str], float]]:
+    """One pipeline trace as structured ``(family, labels, value)`` samples.
+
+    The single source both flat views derive from: :func:`metrics_from_trace`
+    formats these into exposition-keyed floats, and
+    :meth:`~repro.obs.metrics.MetricsRegistry.record_trace` replays them as
+    counter increments.
 
     Emitted families (``p`` = the root span's name, i.e. the scheme label):
 
@@ -71,23 +121,27 @@ def metrics_from_trace(span: Span, prefix: str = "repro") -> dict[str, float]:
       descendant ecall spans.
     """
     pipeline = span.name
-    metrics: dict[str, float] = {
-        f"{prefix}_pipeline_real_seconds{_labels(pipeline=pipeline)}": span.real_s,
-        f"{prefix}_pipeline_overhead_seconds{_labels(pipeline=pipeline)}": span.overhead_s,
-        f"{prefix}_pipeline_crossings_total{_labels(pipeline=pipeline)}": float(
-            span.crossings
+    samples: list[tuple[str, dict[str, str], float]] = [
+        (f"{prefix}_pipeline_real_seconds", {"pipeline": pipeline}, span.real_s),
+        (f"{prefix}_pipeline_overhead_seconds", {"pipeline": pipeline}, span.overhead_s),
+        (
+            f"{prefix}_pipeline_crossings_total",
+            {"pipeline": pipeline},
+            float(span.crossings),
         ),
-    }
+    ]
     for stage in span.stages():
-        labels = _labels(pipeline=pipeline, stage=stage.name)
-        metrics[f"{prefix}_stage_real_seconds{labels}"] = stage.real_s
-        metrics[f"{prefix}_stage_overhead_seconds{labels}"] = stage.overhead_s
+        labels = {"pipeline": pipeline, "stage": stage.name}
+        samples.append((f"{prefix}_stage_real_seconds", labels, stage.real_s))
+        samples.append((f"{prefix}_stage_overhead_seconds", labels, stage.overhead_s))
     for category, seconds in sorted(span.overhead_by_category.items()):
-        labels = _labels(pipeline=pipeline, category=category)
-        metrics[f"{prefix}_overhead_seconds{labels}"] = seconds
+        samples.append(
+            (f"{prefix}_overhead_seconds", {"pipeline": pipeline, "category": category}, seconds)
+        )
     for op, count in sorted(span.op_counts.items()):
-        labels = _labels(pipeline=pipeline, op=op)
-        metrics[f"{prefix}_he_ops_total{labels}"] = float(count)
+        samples.append(
+            (f"{prefix}_he_ops_total", {"pipeline": pipeline, "op": op}, float(count))
+        )
     calls: dict[str, int] = {}
     bytes_crossed: dict[str, int] = {}
     for ecall in span.ecalls():
@@ -95,12 +149,56 @@ def metrics_from_trace(span: Span, prefix: str = "repro") -> dict[str, float]:
         moved = int(ecall.attrs.get("bytes_in", 0)) + int(ecall.attrs.get("bytes_out", 0))
         bytes_crossed[ecall.name] = bytes_crossed.get(ecall.name, 0) + moved
     for name in sorted(calls):
-        labels = _labels(pipeline=pipeline, ecall=name)
-        metrics[f"{prefix}_ecall_count{labels}"] = float(calls[name])
-        metrics[f"{prefix}_ecall_bytes_total{labels}"] = float(bytes_crossed[name])
-    return metrics
+        labels = {"pipeline": pipeline, "ecall": name}
+        samples.append((f"{prefix}_ecall_count", labels, float(calls[name])))
+        samples.append(
+            (f"{prefix}_ecall_bytes_total", labels, float(bytes_crossed[name]))
+        )
+    return samples
+
+
+def metrics_from_trace(span: Span, prefix: str = "repro") -> dict[str, float]:
+    """Flatten one pipeline trace into a Prometheus-style metrics dict.
+
+    See :func:`samples_from_trace` for the emitted families; keys here are
+    ``family{label="value",...}`` exposition strings.
+    """
+    return {
+        f"{family}{format_labels(labels)}": value
+        for family, labels, value in samples_from_trace(span, prefix)
+    }
+
+
+def _family_of(sample_key: str) -> str:
+    return sample_key.split("{", 1)[0]
+
+
+def _family_metadata(family: str) -> tuple[str, str]:
+    """(help, type) for one family name, prefix-insensitively."""
+    for known, help_text in TRACE_FAMILY_HELP.items():
+        if family.endswith(known):
+            return help_text, TRACE_FAMILY_TYPES[known]
+    inferred = "counter" if family.endswith(("_total", "_count")) else "gauge"
+    return family, inferred
 
 
 def render_prometheus(metrics: dict[str, float]) -> str:
-    """Metrics dict as Prometheus exposition text (one sample per line)."""
-    return "\n".join(f"{name} {value:.9g}" for name, value in metrics.items())
+    """Metrics dict as Prometheus exposition text.
+
+    Emits ``# HELP`` and ``# TYPE`` metadata once per family (samples of
+    one family are grouped, first-seen family order preserved) followed by
+    one sample line per entry.  Family types come from
+    :data:`TRACE_FAMILY_TYPES` when known and the ``_total``/``_count``
+    suffix heuristic otherwise.
+    """
+    by_family: dict[str, list[tuple[str, float]]] = {}
+    for key, value in metrics.items():
+        by_family.setdefault(_family_of(key), []).append((key, value))
+    lines: list[str] = []
+    for family, samples in by_family.items():
+        help_text, family_type = _family_metadata(family)
+        lines.append(f"# HELP {family} {escape_help(help_text)}")
+        lines.append(f"# TYPE {family} {family_type}")
+        for key, value in samples:
+            lines.append(f"{key} {value:.9g}")
+    return "\n".join(lines)

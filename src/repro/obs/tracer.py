@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import ReproError
+from repro.obs import metrics
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.he.evaluator import OperationCounter
@@ -196,6 +197,10 @@ class Tracer:
                 self.traces.append(span)
                 if self.max_traces is not None and len(self.traces) > self.max_traces:
                     del self.traces[: len(self.traces) - self.max_traces]
+                if span.kind == "pipeline":
+                    # Per-run traces roll up into the process-wide metrics
+                    # registry so aggregate and trace views reconcile.
+                    metrics.registry().record_trace(span)
 
     @contextmanager
     def stage(self, name: str, **kwargs):

@@ -55,12 +55,61 @@ from repro.errors import (
 from repro.faults import run_with_kernel_degradation
 from repro.he.batching import pack_coefficients
 from repro.he.context import Ciphertext
+from repro.obs import metrics
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.server import EdgeServer, ServedResult
 
 #: Scheme label stamped on packed-flush traces and results.
 PACKED_SCHEME = "EdgeServer/PackedServe"
+
+
+def _m_requests():
+    return metrics.registry().counter(
+        "repro_serve_requests_total",
+        "Requests accepted into the scheduler queue.",
+        ("model",),
+    )
+
+
+def _m_rejected():
+    return metrics.registry().counter(
+        "repro_serve_rejected_total",
+        "Requests rejected at submit (queue_full is the backpressure signal).",
+        ("reason",),
+    )
+
+
+def _m_failed():
+    return metrics.registry().counter(
+        "repro_serve_requests_failed_total",
+        "Requests resolved with RequestFailedError after a dead flush.",
+        ("model",),
+    )
+
+
+def _m_latency():
+    return metrics.registry().histogram(
+        "repro_serve_request_latency_seconds",
+        "Per-request simulated latency, split into queue wait vs compute.",
+        ("model", "phase"),
+    )
+
+
+def _m_occupancy():
+    return metrics.registry().histogram(
+        "repro_serve_batch_occupancy_ratio",
+        "Images per packed flush as a fraction of slot-packing capacity.",
+        ("model",),
+        buckets=metrics.RATIO_BUCKETS,
+    )
+
+
+def _m_queue_depth():
+    return metrics.registry().gauge(
+        "repro_serve_queue_depth",
+        "Queued (unflushed) requests across all models.",
+    )
 
 
 @dataclass
@@ -233,6 +282,7 @@ class RequestScheduler:
         """
         if model_name not in self.server.models():
             self.stats.rejected_unknown_model += 1
+            _m_rejected().labels(reason="unknown_model").inc()
             raise UnknownModelError(
                 f"unknown model {model_name!r}; provisioned: {self.server.models()}"
             )
@@ -253,12 +303,14 @@ class RequestScheduler:
             raise ServeError("request ciphertext has an empty batch")
         if batch > self.capacity:
             self.stats.rejected_oversized += 1
+            _m_rejected().labels(reason="oversized").inc()
             raise BatchTooLargeError(
                 f"request of {batch} images exceeds the packing capacity "
                 f"{self.capacity} (slots: {self.slot_count})"
             )
         if self.queue_depth >= self.config.max_queue_depth:
             self.stats.rejected_queue_full += 1
+            _m_rejected().labels(reason="queue_full").inc()
             raise QueueFullError(
                 f"queue is at its bound of {self.config.max_queue_depth} "
                 "requests; drain or retry later"
@@ -286,6 +338,8 @@ class RequestScheduler:
         self._queues.setdefault(model_name, []).append(request)
         self.stats.submitted += 1
         self.stats.peak_queue_depth = max(self.stats.peak_queue_depth, self.queue_depth)
+        _m_requests().labels(model=model_name).inc()
+        _m_queue_depth().set(self.queue_depth)
         if self.pending_images(model_name) >= self.capacity:
             self._flush_model(model_name)
         return response
@@ -329,17 +383,28 @@ class RequestScheduler:
         if not requests:
             return 0
         tracer = self.server.platform.tracer
+        clock = self.server.platform.clock
+        flush_start = clock.now_s
         try:
             results = run_with_kernel_degradation(
                 tracer, PACKED_SCHEME, lambda: self._run_packed(model_name, requests)
             )
         except Exception as exc:  # noqa: BLE001 - isolation boundary
+            _m_queue_depth().set(self.queue_depth)
             return self._isolate(model_name, requests, exc)
+        compute_s = clock.now_s - flush_start
         for request, served in zip(requests, results):
             request.response._resolve(served)
         self.stats.flushes += 1
         self.stats.served += len(requests)
-        self.stats.packed_images += sum(r.batch for r in requests)
+        images = sum(r.batch for r in requests)
+        self.stats.packed_images += images
+        latency = _m_latency()
+        for served in results:
+            latency.labels(model=model_name, phase="queue").observe(served.queue_wait_s)
+            latency.labels(model=model_name, phase="compute").observe(compute_s)
+        _m_occupancy().labels(model=model_name).observe(images / self.capacity)
+        _m_queue_depth().set(self.queue_depth)
         return len(requests)
 
     def _isolate(self, model_name: str, requests: list[_QueuedRequest], exc: BaseException) -> int:
@@ -380,6 +445,7 @@ class RequestScheduler:
                 failure.__cause__ = cause
                 request.response._fail(failure)
                 self.stats.failed += 1
+                _m_failed().labels(model=model_name).inc()
         return served
 
     def _run_packed(

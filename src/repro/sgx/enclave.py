@@ -22,6 +22,7 @@ from typing import Any
 
 from repro import faults
 from repro.errors import EnclaveCrashed, EnclaveError, EnclaveNotInitialized
+from repro.obs import metrics
 from repro.obs.tracer import Tracer
 from repro.sgx import sealing
 from repro.sgx.clock import SimClock
@@ -207,6 +208,19 @@ class EnclaveHandle:
             self.side_channel.record(
                 "ecall", name, bytes_in=bytes_in, bytes_out=bytes_out
             )
+            registry = metrics.registry()
+            registry.counter(
+                "repro_sgx_ecall_total",
+                "ECALL invocations at the trusted boundary, by entry point.",
+                ("ecall",),
+            ).labels(ecall=name).inc()
+            ecall_bytes = registry.counter(
+                "repro_sgx_ecall_bytes_total",
+                "Bytes marshalled across the boundary, by entry point and direction.",
+                ("direction", "ecall"),
+            )
+            ecall_bytes.labels(ecall=name, direction="in").inc(bytes_in)
+            ecall_bytes.labels(ecall=name, direction="out").inc(bytes_out)
         return result
 
     def _maybe_crash(self, name: str) -> None:

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro import faults
 from repro.errors import EnclaveMemoryError
+from repro.obs import metrics
 from repro.sgx.clock import SimClock
 from repro.sgx.costmodel import PAGE_SIZE, SgxCostModel
 
@@ -59,6 +60,35 @@ class EpcManager:
         # LRU over (handle, page_index) pairs; most-recently-used at the end.
         self._resident: OrderedDict[tuple[int, int], None] = OrderedDict()
         self._next_handle = 1
+        # Stats totals already mirrored into the metrics registry; deltas
+        # are published at the end of each public entry point, so nested
+        # paths (evict_all inside touch) are counted exactly once.
+        self._published = (0, 0, 0)
+
+    def _publish_paging(self) -> None:
+        current = (self.stats.evictions, self.stats.loads, self.stats.faults)
+        if current == self._published:
+            return  # hot path: nothing paged since the last publish
+        registry = metrics.registry()
+        if not registry.enabled:
+            return
+        previous = self._published
+        if any(now < before for now, before in zip(current, previous)):
+            previous = (0, 0, 0)  # stats were reset; re-baseline
+        names = (
+            "repro_sgx_epc_evictions_total",
+            "repro_sgx_epc_loads_total",
+            "repro_sgx_epc_faults_total",
+        )
+        helps = (
+            "EPC pages encrypted and evicted to untrusted memory (EWB).",
+            "EPC pages decrypted and reloaded on demand (ELD).",
+            "EPC page faults observed by the untrusted OS.",
+        )
+        for name, help_text, now, before in zip(names, helps, current, previous):
+            if now > before:
+                registry.counter(name, help_text).inc(now - before)
+        self._published = current
 
     @property
     def capacity_bytes(self) -> int:
@@ -101,6 +131,7 @@ class EpcManager:
         self.stats.evictions += evicted
         if evicted:
             self.clock.charge(self.cost_model.paging_overhead_s(evicted), "epc_paging")
+        self._publish_paging()
         return evicted
 
     def touch(self, handle: int) -> None:
@@ -131,6 +162,7 @@ class EpcManager:
             self.clock.charge(
                 self.cost_model.paging_overhead_s(2 * thrash), "epc_paging"
             )
+            self._publish_paging()
             return
         for page in range(allocation.pages):
             key = (handle, page)
@@ -138,6 +170,7 @@ class EpcManager:
                 self._resident.move_to_end(key)
                 continue
             self._fault_in(key, allocation)
+        self._publish_paging()
 
     def _fault_in(self, key: tuple[int, int], allocation: _Allocation) -> None:
         while len(self._resident) >= self._capacity_pages:

@@ -106,8 +106,62 @@ class TestMetrics:
         assert any(k.startswith("edge_pipeline_real_seconds") for k in m)
 
     def test_render_prometheus_lines(self, trace):
-        text = render_prometheus(metrics_from_trace(trace))
+        metrics = metrics_from_trace(trace)
+        text = render_prometheus(metrics)
         lines = text.splitlines()
-        assert len(lines) == len(metrics_from_trace(trace))
+        samples = [l for l in lines if not l.startswith("#")]
+        assert len(samples) == len(metrics)
         sample = next(l for l in lines if l.startswith("repro_pipeline_real_seconds"))
         assert sample.endswith(" 1")
+
+    def test_render_prometheus_metadata(self, trace):
+        text = render_prometheus(metrics_from_trace(trace))
+        lines = text.splitlines()
+        # One HELP and one TYPE line per family, HELP immediately before TYPE,
+        # TYPE immediately before the family's first sample.
+        assert "# HELP repro_pipeline_real_seconds " in text
+        type_idx = lines.index("# TYPE repro_pipeline_real_seconds counter")
+        assert lines[type_idx - 1].startswith("# HELP repro_pipeline_real_seconds")
+        assert lines[type_idx + 1].startswith("repro_pipeline_real_seconds{")
+        # Families are annotated exactly once even with many samples.
+        assert text.count("# TYPE repro_stage_real_seconds counter") == 1
+
+    def test_render_prometheus_escapes_label_values(self):
+        rendered = render_prometheus({'m{name="tricky"}': 1.0})
+        assert rendered.splitlines()[-1] == 'm{name="tricky"} 1'
+        from repro.obs.export import _labels
+
+        formatted = _labels(name='evil"} 1\nfake_metric 2')
+        assert formatted == '{name="evil\\"} 1\\nfake_metric 2"}'
+        assert "\n" not in formatted
+
+
+class TestTraceFromDictValidation:
+    def test_rejects_unknown_kind(self, trace):
+        from repro.errors import TraceFormatError
+
+        doc = trace_to_dict(trace)
+        doc["kind"] = "interpretive-dance"
+        with pytest.raises(TraceFormatError, match="kind"):
+            trace_from_json(json.dumps(doc))
+
+    def test_rejects_missing_fields(self, trace):
+        from repro.errors import TraceFormatError
+
+        doc = trace_to_dict(trace)
+        del doc["real_s"]
+        with pytest.raises(TraceFormatError, match="real_s"):
+            trace_from_json(json.dumps(doc))
+
+    def test_rejects_non_dict(self):
+        from repro.errors import TraceFormatError
+        from repro.obs import trace_from_dict
+
+        with pytest.raises(TraceFormatError):
+            trace_from_dict(["not", "a", "span"])
+
+    def test_error_is_repro_error(self):
+        from repro.errors import ReproError, TraceFormatError
+
+        assert issubclass(TraceFormatError, ReproError)
+        assert issubclass(TraceFormatError, ValueError)

@@ -1,0 +1,268 @@
+"""Metrics registry tests: primitives, exposition and the trace bridge."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.obs import Span, metrics_from_trace
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+    format_labels,
+    use_registry,
+)
+
+
+@pytest.fixture()
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_monotone(self, reg):
+        c = reg.counter("requests_total", "Requests.")
+        c.inc()
+        c.inc(2.5)
+        assert reg.collect().flat()["requests_total"] == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self, reg):
+        c = reg.counter("requests_total", "Requests.")
+        with pytest.raises(MetricsError, match="monotone"):
+            c.inc(-1)
+        assert reg.collect().flat()["requests_total"] == 0.0
+
+    def test_get_or_create_returns_same_family(self, reg):
+        assert reg.counter("x", "a") is reg.counter("x", "a")
+
+    def test_type_mismatch_rejected(self, reg):
+        reg.counter("x", "a")
+        with pytest.raises(MetricsError, match="already registered"):
+            reg.gauge("x", "a")
+
+    def test_labelnames_mismatch_rejected(self, reg):
+        reg.counter("x", "a", ("model",))
+        with pytest.raises(MetricsError, match="already registered"):
+            reg.counter("x", "a", ("site",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self, reg):
+        g = reg.gauge("depth", "Queue depth.")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert reg.collect().flat()["depth"] == pytest.approx(3.0)
+
+
+class TestLabels:
+    def test_child_identity(self, reg):
+        family = reg.counter("ecalls", "", ("name",))
+        a = family.labels(name="activation_pool")
+        b = family.labels(name="activation_pool")
+        assert a is b
+        assert a is not family.labels(name="generate_keys")
+
+    def test_wrong_labelnames_rejected(self, reg):
+        family = reg.counter("ecalls", "", ("name",))
+        with pytest.raises(MetricsError, match="takes labels"):
+            family.labels(model="digits")
+        with pytest.raises(MetricsError, match="takes labels"):
+            family.labels()
+
+    def test_unlabeled_convenience_rejected_on_labeled_family(self, reg):
+        family = reg.counter("ecalls", "", ("name",))
+        with pytest.raises(MetricsError, match="labeled"):
+            family.inc()
+
+    def test_escaping(self):
+        assert escape_label_value('evil"} 1\nfake 2') == 'evil\\"} 1\\nfake 2'
+        assert escape_label_value("back\\slash") == "back\\\\slash"
+        formatted = format_labels({"name": 'a"b', "z": "c", "empty": ""})
+        assert formatted == '{name="a\\"b",z="c"}'
+        assert format_labels({}) == ""
+
+
+class TestHistogram:
+    def test_bucket_boundaries_le_inclusive(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 4.0, 99.0):
+            h.observe(v)
+        assert h.bucket_counts() == {"1": 2, "2": 4, "4": 5, "+Inf": 6}
+        assert h.count == 6
+        assert h.sum == pytest.approx(108.0)
+
+    def test_latency_buckets_are_log_scaled(self):
+        assert LATENCY_BUCKETS[0] == pytest.approx(1e-4)
+        for lo, hi in zip(LATENCY_BUCKETS, LATENCY_BUCKETS[1:]):
+            assert hi == pytest.approx(2 * lo)
+
+    def test_quantile_interpolation(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for _ in range(100):
+            h.observe(1.5)  # all in the (1, 2] bucket
+        # Any quantile interpolates inside that bucket's (1.0, 2.0) range.
+        assert 1.0 <= h.quantile(0.5) <= 2.0
+        assert h.quantile(0.0) == pytest.approx(1.0)
+        assert h.quantile(1.0) == pytest.approx(2.0)
+
+    def test_quantile_empty_is_nan(self):
+        assert math.isnan(Histogram(buckets=(1.0,)).quantile(0.5))
+
+    def test_unlabeled_family_delegates_quantile(self, reg):
+        family = reg.histogram("h", "", buckets=(1.0, 2.0))
+        family.observe(1.5)
+        assert 1.0 <= family.quantile(0.5) <= 2.0
+
+    def test_quantile_clamps_to_highest_finite_bound(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(100.0)  # +Inf bucket
+        assert h.quantile(0.99) == pytest.approx(2.0)
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(MetricsError):
+            Histogram(buckets=(1.0,)).quantile(1.5)
+
+    def test_unsorted_buckets_rejected(self, reg):
+        with pytest.raises(MetricsError, match="increasing"):
+            reg.histogram("h", "", buckets=(2.0, 1.0))
+
+
+class TestDisabledRegistry:
+    def test_null_metric_is_shared_and_inert(self):
+        reg = MetricsRegistry(enabled=False)
+        a = reg.counter("x", "")
+        b = reg.histogram("y", "", ("model",))
+        assert a is b  # one shared null object: no per-call allocation
+        assert a.labels(model="digits") is a
+        a.inc()
+        a.observe(1.0)
+        a.set(2.0)
+        assert reg.collect().families == []
+
+    def test_disable_enable_roundtrip(self, reg):
+        reg.counter("x", "").inc()
+        reg.disable()
+        reg.counter("x", "").inc()  # dropped
+        reg.enable()
+        reg.counter("x", "").inc()
+        assert reg.collect().flat()["x"] == 2.0
+
+
+class TestExposition:
+    def test_golden(self, reg):
+        reg.counter("repro_demo_total", "Demo events.", ("site",)).labels(
+            site="sgx.ecall"
+        ).inc(3)
+        reg.gauge("repro_depth", "Queue depth.").set(2)
+        reg.histogram("repro_wait_seconds", "Waits.", buckets=(0.5, 1.0)).observe(0.25)
+        assert reg.render_prometheus() == "\n".join(
+            [
+                "# HELP repro_demo_total Demo events.",
+                "# TYPE repro_demo_total counter",
+                'repro_demo_total{site="sgx.ecall"} 3',
+                "# HELP repro_depth Queue depth.",
+                "# TYPE repro_depth gauge",
+                "repro_depth 2",
+                "# HELP repro_wait_seconds Waits.",
+                "# TYPE repro_wait_seconds histogram",
+                'repro_wait_seconds_bucket{le="0.5"} 1',
+                'repro_wait_seconds_bucket{le="1"} 1',
+                'repro_wait_seconds_bucket{le="+Inf"} 1',
+                "repro_wait_seconds_sum 0.25",
+                "repro_wait_seconds_count 1",
+            ]
+        )
+
+    def test_hostile_label_values_stay_on_one_line(self, reg):
+        reg.counter("m", "", ("model",)).labels(model='evil"} 1\nfake 2').inc()
+        lines = reg.render_prometheus().splitlines()
+        assert lines[2] == 'm{model="evil\\"} 1\\nfake 2"} 1'
+        assert len(lines) == 3
+
+    def test_snapshot_json_roundtrip(self, reg):
+        import json
+
+        reg.counter("x", "help text").inc(5)
+        doc = json.loads(reg.collect().to_json())
+        assert doc["families"][0] == {
+            "name": "x",
+            "type": "counter",
+            "help": "help text",
+            "samples": [{"labels": {}, "value": 5.0}],
+        }
+
+
+class TestTraceBridge:
+    @pytest.fixture()
+    def trace(self):
+        return Span(
+            name="EncryptSGX",
+            kind="pipeline",
+            real_s=1.0,
+            overhead_s=0.5,
+            overhead_by_category={"sgx_transition": 0.3, "sgx_marshalling": 0.2},
+            op_counts={"ct_add": 7, "ct_plain_mul": 3},
+            crossings=2,
+            children=[
+                Span("encrypt", kind="stage", real_s=0.2),
+                Span(
+                    "sgx_activation_pool",
+                    kind="stage",
+                    real_s=0.5,
+                    overhead_s=0.5,
+                    crossings=2,
+                    children=[
+                        Span("activation_pool", kind="ecall", real_s=0.4,
+                             crossings=1, attrs={"bytes_in": 100, "bytes_out": 40}),
+                    ],
+                ),
+            ],
+        )
+
+    def test_record_trace_reconciles_with_flat_view(self, reg, trace):
+        """The reconciliation invariant: a fresh registry fed one trace
+        agrees sample-for-sample with the single-trace flat view."""
+        reg.record_trace(trace)
+        flat = reg.collect().flat()
+        expected = metrics_from_trace(trace)
+        assert flat == pytest.approx(expected)
+
+    def test_record_trace_accumulates(self, reg, trace):
+        reg.record_trace(trace)
+        reg.record_trace(trace)
+        flat = reg.collect().flat()
+        for key, value in metrics_from_trace(trace).items():
+            assert flat[key] == pytest.approx(2 * value)
+
+    def test_tracer_rolls_up_pipeline_spans(self):
+        from repro.obs.tracer import Tracer
+        from repro.sgx.clock import SimClock
+
+        with use_registry() as fresh:
+            tracer = Tracer(SimClock())
+            with tracer.span("EncryptSGX", kind="pipeline"):
+                pass
+            flat = fresh.collect().flat()
+        assert 'repro_pipeline_real_seconds{pipeline="EncryptSGX"}' in flat
+
+    def test_disabled_registry_ignores_traces(self, trace):
+        reg = MetricsRegistry(enabled=False)
+        reg.record_trace(trace)
+        assert reg.collect().families == []
+
+
+class TestUseRegistry:
+    def test_swaps_and_restores(self):
+        from repro.obs import metrics as metrics_mod
+
+        before = metrics_mod.registry()
+        with use_registry() as fresh:
+            assert metrics_mod.registry() is fresh
+            fresh.counter("inner", "").inc()
+        assert metrics_mod.registry() is before
+        assert "inner" not in {f["name"] for f in before.collect().families}
