@@ -128,6 +128,20 @@ class ResponseNotReady(ServeError):
     """A pending response was read before its batch was flushed."""
 
 
+class OverloadedError(ServeError):
+    """Admission control shed the request: the estimated queue wait already
+    exceeds the serving loop's admission SLO, so accepting it would only
+    poison tail latency for everyone queued behind it.  Typed so callers
+    can distinguish "retry later / back off" from a hard failure."""
+
+
+class DeadlineEvictedError(ServeError):
+    """The serving loop evicted a queued request whose hard SLO deadline
+    can no longer be met: the earliest completion any future flush could
+    give it lies past ``slo_deadline_s``, so its slots go to requests that
+    can still make their deadlines."""
+
+
 class RequestFailedError(ServeError):
     """A scheduled request failed during its (packed) flush.
 

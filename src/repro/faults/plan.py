@@ -40,6 +40,12 @@ Instrumented sites (see DESIGN.md §11 for the recovery semantics):
                            (bit flip or truncation, per ``rule.action``)
 ``he.noise.decrypt``       the noise budget is exhausted at decrypt time
 ``he.kernels.guard``       the FUSED/REFERENCE equivalence guard trips
+``serve.loop.timer``       timer storm: the serving loop's deadline timer is
+                           duplicated many times over; dispatch must stay
+                           idempotent (a perturbation -- results unchanged)
+``serve.loop.flush_done``  the serving loop's flush-completion event is lost;
+                           the always-armed watchdog re-delivers the finished
+                           flush's results (a perturbation -- late, not lost)
 ========================== ====================================================
 """
 

@@ -1,12 +1,27 @@
 """Serving layer: slot-packed scheduling of concurrent encrypted requests.
 
-See :mod:`repro.serve.scheduler` for the design notes -- the short version:
-requests for the same model coalesce into one CRT-slot-packed hybrid
-pipeline pass (legal because the enclave is the key authority, so every
-enrolled user shares its key pair), with bounded-queue backpressure, a
-simulated-clock coalescing window, and per-request tracing spans.
+Two front ends over the same packed-flush machinery:
+
+* :mod:`repro.serve.scheduler` -- the synchronous, manually-cranked
+  coalescing scheduler (``submit``/``pump``/``drain``): requests for the
+  same model coalesce into one CRT-slot-packed hybrid pipeline pass (legal
+  because the enclave is the key authority, so every enrolled user shares
+  its key pair), with bounded-queue backpressure and typed rejections.
+* :mod:`repro.serve.loop` -- the event-driven continuous-batching serving
+  loop: a deterministic virtual-time event queue that admits open-loop
+  traffic into in-flight slot groups, sheds load off a queue-wait estimate,
+  honors priority classes, and evicts requests whose hard SLO deadlines
+  became hopeless.  :mod:`repro.serve.traffic` generates the seeded
+  open-loop traces (Poisson + bursty) that drive it.
 """
 
+from repro.serve.loop import (
+    LoopConfig,
+    LoopStats,
+    LoopTicket,
+    ServiceTimeModel,
+    ServingLoop,
+)
 from repro.serve.scheduler import (
     PACKED_SCHEME,
     PendingResponse,
@@ -14,11 +29,28 @@ from repro.serve.scheduler import (
     ServeConfig,
     ServeStats,
 )
+from repro.serve.traffic import (
+    Arrival,
+    TrafficTrace,
+    bursty_trace,
+    merge,
+    poisson_trace,
+)
 
 __all__ = [
     "PACKED_SCHEME",
+    "Arrival",
+    "LoopConfig",
+    "LoopStats",
+    "LoopTicket",
     "PendingResponse",
     "RequestScheduler",
     "ServeConfig",
     "ServeStats",
+    "ServiceTimeModel",
+    "ServingLoop",
+    "TrafficTrace",
+    "bursty_trace",
+    "merge",
+    "poisson_trace",
 ]

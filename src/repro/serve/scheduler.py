@@ -148,10 +148,12 @@ class ServeStats:
     failed: int = 0
     flushes: int = 0
     isolations: int = 0
+    isolated_requests: int = 0
     packed_images: int = 0
     rejected_queue_full: int = 0
     rejected_oversized: int = 0
     rejected_unknown_model: int = 0
+    rejected_malformed: int = 0
     peak_queue_depth: int = 0
 
 
@@ -255,6 +257,60 @@ class RequestScheduler:
     # ------------------------------------------------------------------
     # request intake
     # ------------------------------------------------------------------
+    def validate_request(self, model_name: str, ct: Ciphertext) -> int:
+        """Typed request validation shared by :meth:`submit` and the
+        event-driven :class:`~repro.serve.loop.ServingLoop`.
+
+        Every rejection increments the matching :class:`ServeStats` counter
+        and the ``repro_serve_rejected_total`` family before raising, so
+        rejection accounting is complete no matter which front end admitted
+        the request.
+
+        Returns:
+            the request's image count (its batch dimension).
+
+        Raises:
+            UnknownModelError: ``model_name`` was never provisioned.
+            ServeError: the ciphertext is not a non-empty 4-D pixel batch
+                with this model's channel count (``malformed``).
+            BatchTooLargeError: the request alone exceeds the capacity.
+        """
+        if model_name not in self.server.models():
+            self.stats.rejected_unknown_model += 1
+            _m_rejected().labels(reason="unknown_model").inc()
+            raise UnknownModelError(
+                f"unknown model {model_name!r}; provisioned: {self.server.models()}"
+            )
+        self.server.context.check_same(ct.context)
+        if len(ct.batch_shape) != 4:
+            self.stats.rejected_malformed += 1
+            _m_rejected().labels(reason="malformed").inc()
+            raise ServeError(
+                f"requests must be (B, C, H, W) pixel ciphertexts, got batch "
+                f"shape {ct.batch_shape}"
+            )
+        channels = self.server.encoded_model(model_name).conv.operands.shape[1]
+        if ct.batch_shape[1] != channels:
+            self.stats.rejected_malformed += 1
+            _m_rejected().labels(reason="malformed").inc()
+            raise ServeError(
+                f"request has {ct.batch_shape[1]} channels, model "
+                f"{model_name!r} expects {channels}"
+            )
+        batch = int(ct.batch_shape[0])
+        if batch < 1:
+            self.stats.rejected_malformed += 1
+            _m_rejected().labels(reason="malformed").inc()
+            raise ServeError("request ciphertext has an empty batch")
+        if batch > self.capacity:
+            self.stats.rejected_oversized += 1
+            _m_rejected().labels(reason="oversized").inc()
+            raise BatchTooLargeError(
+                f"request of {batch} images exceeds the packing capacity "
+                f"{self.capacity} (slots: {self.slot_count})"
+            )
+        return batch
+
     def submit(
         self,
         model_name: str,
@@ -280,35 +336,12 @@ class RequestScheduler:
             ServeError: the ciphertext is not a 4-D pixel batch for this
                 model.
         """
-        if model_name not in self.server.models():
-            self.stats.rejected_unknown_model += 1
-            _m_rejected().labels(reason="unknown_model").inc()
-            raise UnknownModelError(
-                f"unknown model {model_name!r}; provisioned: {self.server.models()}"
-            )
-        self.server.context.check_same(ct.context)
-        if len(ct.batch_shape) != 4:
-            raise ServeError(
-                f"requests must be (B, C, H, W) pixel ciphertexts, got batch "
-                f"shape {ct.batch_shape}"
-            )
-        channels = self.server.encoded_model(model_name).conv.operands.shape[1]
-        if ct.batch_shape[1] != channels:
-            raise ServeError(
-                f"request has {ct.batch_shape[1]} channels, model "
-                f"{model_name!r} expects {channels}"
-            )
-        batch = int(ct.batch_shape[0])
-        if batch < 1:
-            raise ServeError("request ciphertext has an empty batch")
-        if batch > self.capacity:
-            self.stats.rejected_oversized += 1
-            _m_rejected().labels(reason="oversized").inc()
-            raise BatchTooLargeError(
-                f"request of {batch} images exceeds the packing capacity "
-                f"{self.capacity} (slots: {self.slot_count})"
-            )
-        if self.queue_depth >= self.config.max_queue_depth:
+        batch = self.validate_request(model_name, ct)
+        # The depth this request actually observed on arrival: captured once
+        # at entry, before any capacity-triggered early flush below can
+        # empty the bucket out from under it.
+        depth_at_entry = self.queue_depth
+        if depth_at_entry >= self.config.max_queue_depth:
             self.stats.rejected_queue_full += 1
             _m_rejected().labels(reason="queue_full").inc()
             raise QueueFullError(
@@ -331,7 +364,7 @@ class RequestScheduler:
             batch=batch,
             enqueued_at=clock.now_s,
             deadline_at=clock.now_s + window,
-            queue_depth_at_submit=self.queue_depth,
+            queue_depth_at_submit=depth_at_entry,
             response=response,
         )
         self._next_id += 1
@@ -382,19 +415,52 @@ class RequestScheduler:
         requests = self._queues.pop(model_name, [])
         if not requests:
             return 0
+        served = 0
+        for request, outcome in self.run_batch(model_name, requests):
+            if isinstance(outcome, BaseException):
+                request.response._fail(outcome)
+            else:
+                request.response._resolve(outcome)
+                served += 1
+        _m_queue_depth().set(self.queue_depth)
+        return served
+
+    def run_batch(
+        self,
+        model_name: str,
+        requests: "list[_QueuedRequest]",
+        *,
+        flushed_at: float | None = None,
+    ) -> "list[tuple[_QueuedRequest, ServedResult | BaseException]]":
+        """Execute one packed flush over ``requests`` and account for it.
+
+        The execution half of :meth:`_flush_model`, shared with the
+        event-driven :class:`~repro.serve.loop.ServingLoop`: runs the packed
+        pass under kernel degradation, falls back to per-request isolation
+        when the pass dies, and records the flush/latency/occupancy stats
+        and metrics -- but touches no queue state and resolves no response.
+        Each request comes back paired with either its
+        :class:`~repro.core.server.ServedResult` or the typed
+        :class:`~repro.errors.RequestFailedError` to fail it with; the
+        caller decides when to deliver them.
+
+        Args:
+            flushed_at: timestamp (in the caller's timing currency) that
+                queue waits are measured against; defaults to the simulated
+                clock, which is what the synchronous scheduler path wants.
+        """
         tracer = self.server.platform.tracer
         clock = self.server.platform.clock
         flush_start = clock.now_s
         try:
             results = run_with_kernel_degradation(
-                tracer, PACKED_SCHEME, lambda: self._run_packed(model_name, requests)
+                tracer,
+                PACKED_SCHEME,
+                lambda: self._run_packed(model_name, requests, flushed_at=flushed_at),
             )
         except Exception as exc:  # noqa: BLE001 - isolation boundary
-            _m_queue_depth().set(self.queue_depth)
-            return self._isolate(model_name, requests, exc)
+            return self._isolate(model_name, requests, exc, flushed_at=flushed_at)
         compute_s = clock.now_s - flush_start
-        for request, served in zip(requests, results):
-            request.response._resolve(served)
         self.stats.flushes += 1
         self.stats.served += len(requests)
         images = sum(r.batch for r in requests)
@@ -404,17 +470,31 @@ class RequestScheduler:
             latency.labels(model=model_name, phase="queue").observe(served.queue_wait_s)
             latency.labels(model=model_name, phase="compute").observe(compute_s)
         _m_occupancy().labels(model=model_name).observe(images / self.capacity)
-        _m_queue_depth().set(self.queue_depth)
-        return len(requests)
+        return list(zip(requests, results))
 
-    def _isolate(self, model_name: str, requests: list[_QueuedRequest], exc: BaseException) -> int:
+    def _isolate(
+        self,
+        model_name: str,
+        requests: "list[_QueuedRequest]",
+        exc: BaseException,
+        *,
+        flushed_at: float | None = None,
+    ) -> "list[tuple[_QueuedRequest, ServedResult | BaseException]]":
         """Recover from a dead packed flush by re-running each request as
-        its own single-request pass; requests that still fail are resolved
-        with a typed :class:`~repro.errors.RequestFailedError` chaining the
-        underlying cause, so callers never hang on ``result()``."""
+        its own single-request pass; requests that still fail map to a typed
+        :class:`~repro.errors.RequestFailedError` chaining the underlying
+        cause, so callers never hang on ``result()``.
+
+        Isolated re-runs are counted as ``isolated_requests`` -- never as
+        ``flushes`` -- and emit the same per-request latency and occupancy
+        observations the happy path does, so occupancy and latency
+        distributions stay truthful under faults.
+        """
         tracer = self.server.platform.tracer
+        clock = self.server.platform.clock
+        latency = _m_latency()
         self.stats.isolations += 1
-        served = 0
+        outcomes: "list[tuple[_QueuedRequest, ServedResult | BaseException]]" = []
         with tracer.span(
             "recovery/request_isolation",
             kind="span",
@@ -427,14 +507,24 @@ class RequestScheduler:
                 if len(requests) > 1:
                     # Injected faults are counted per-site, so the poisoned
                     # request keeps failing while its batch-mates recover.
+                    rerun_start = clock.now_s
                     try:
-                        request.response._resolve(
-                            self._run_packed(model_name, [request])[0]
-                        )
-                        self.stats.flushes += 1
+                        served = self._run_packed(
+                            model_name, [request], flushed_at=flushed_at
+                        )[0]
+                        outcomes.append((request, served))
+                        self.stats.isolated_requests += 1
                         self.stats.served += 1
                         self.stats.packed_images += request.batch
-                        served += 1
+                        latency.labels(model=model_name, phase="queue").observe(
+                            served.queue_wait_s
+                        )
+                        latency.labels(model=model_name, phase="compute").observe(
+                            clock.now_s - rerun_start
+                        )
+                        _m_occupancy().labels(model=model_name).observe(
+                            request.batch / self.capacity
+                        )
                         continue
                     except Exception as single_exc:  # noqa: BLE001
                         cause = single_exc
@@ -443,18 +533,28 @@ class RequestScheduler:
                     f"during its packed flush: {cause}"
                 )
                 failure.__cause__ = cause
-                request.response._fail(failure)
+                outcomes.append((request, failure))
                 self.stats.failed += 1
                 _m_failed().labels(model=model_name).inc()
-        return served
+        return outcomes
 
     def _run_packed(
-        self, model_name: str, requests: list[_QueuedRequest]
+        self,
+        model_name: str,
+        requests: list[_QueuedRequest],
+        *,
+        flushed_at: float | None = None,
     ) -> "list[ServedResult]":
         """One slot-packed pipeline pass; returns one result per request.
 
         Pure with respect to scheduler state -- no queue or stats mutation,
         no response resolution -- so callers may retry it safely.
+
+        ``flushed_at`` overrides the flush timestamp queue waits are
+        measured against: the serving loop passes its event-queue time so
+        waits come out in the loop's deterministic virtual currency, while
+        the default (the simulated clock) keeps the synchronous scheduler
+        path bit-identical to its historical behavior.
         """
         from repro.core.server import ServedResult
 
@@ -472,7 +572,8 @@ class RequestScheduler:
             np.concatenate([r.ct.to_ntt().data for r in requests], axis=0),
             is_ntt=True,
         )
-        flushed_at = clock.now_s
+        if flushed_at is None:
+            flushed_at = clock.now_s
 
         def stage(name: str):
             return tracer.stage(

@@ -34,10 +34,31 @@ def _serving_report(speedup=2.0, mode="smoke"):
     }
 
 
-def _write_pair(directory: Path, hotpath: dict, serving: dict) -> None:
+def _slo_report(ratio=1.05, p99_bounded=True, shed_bounded=True):
+    return {
+        "config": {"mode": "smoke"},
+        "continuous": {
+            "images_per_s": 580.0 * ratio,
+            "occupancy_mean": 0.8,
+            "p99_queue_wait_s": 0.06,
+        },
+        "throughput_ratio": ratio,
+        "slo": {
+            "p99_bounded": p99_bounded,
+            "shed_rate_bounded": shed_bounded,
+            "all_tickets_resolved": True,
+        },
+        "bit_identical": {"logits": True},
+    }
+
+
+def _write_pair(directory: Path, hotpath: dict, serving: dict, slo: dict | None = None) -> None:
     directory.mkdir(parents=True, exist_ok=True)
     (directory / "BENCH_hotpath.json").write_text(json.dumps(hotpath))
     (directory / "BENCH_serving.json").write_text(json.dumps(serving))
+    (directory / "BENCH_slo.json").write_text(
+        json.dumps(slo if slo is not None else _slo_report())
+    )
 
 
 def _gate(baseline_dir: Path, current_dir: Path, *extra: str):
@@ -119,7 +140,35 @@ class TestBenchGate:
         _gate(tmp_path / "base", tmp_path / "cur", "--report", str(report))
         doc = json.loads(report.read_text())
         assert doc["ok"] is True
-        assert set(doc["benches"]) == {"hotpath", "serving"}
+        assert set(doc["benches"]) == {"hotpath", "serving", "slo"}
+
+    def test_slo_invariant_violation_fails(self, tmp_path):
+        _write_pair(tmp_path / "base", _hotpath_report(), _serving_report())
+        _write_pair(
+            tmp_path / "cur", _hotpath_report(), _serving_report(),
+            slo=_slo_report(p99_bounded=False),
+        )
+        proc = _gate(tmp_path / "base", tmp_path / "cur")
+        assert proc.returncode == 1
+        assert "slo.p99_bounded" in proc.stdout
+
+    def test_bench_selection_scopes_the_gate(self, tmp_path):
+        """--bench gates only the named benches: a broken slo report is
+        invisible to a hotpath+serving-scoped run and fatal to an
+        slo-scoped one."""
+        _write_pair(tmp_path / "base", _hotpath_report(), _serving_report())
+        _write_pair(
+            tmp_path / "cur", _hotpath_report(), _serving_report(),
+            slo=_slo_report(shed_bounded=False),
+        )
+        scoped = _gate(
+            tmp_path / "base", tmp_path / "cur",
+            "--bench", "hotpath", "--bench", "serving",
+        )
+        assert scoped.returncode == 0, scoped.stdout + scoped.stderr
+        slo_only = _gate(tmp_path / "base", tmp_path / "cur", "--bench", "slo")
+        assert slo_only.returncode == 1
+        assert "slo.shed_rate_bounded" in slo_only.stdout
 
     def test_checked_in_baselines_self_compare(self):
         """The shipped baselines must pass against themselves."""

@@ -298,3 +298,116 @@ class TestSchedulerConstruction:
             ServeConfig(max_batch=0)
         with pytest.raises(ServeError):
             ServeConfig(window_s=-1.0)
+
+
+class TestAccountingBugfixes:
+    """Pins for three accounting bugs the serving loop surfaced: silent
+    malformed rejections, queue depth sampled after the overflow flush, and
+    isolation re-runs inflating the flush count."""
+
+    def _rejected_malformed_metric(self):
+        from repro.obs import metrics
+
+        family = metrics.registry().counter(
+            "repro_serve_rejected_total",
+            "Requests rejected before queueing, by reason.",
+            ("reason",),
+        )
+        return family.labels(reason="malformed")
+
+    def test_malformed_rejections_are_counted(self, server, session, models):
+        """Every malformed shape rejection lands in ServeStats and the
+        ``reason="malformed"`` counter -- not just the raised error."""
+        metric = self._rejected_malformed_metric()
+        before_metric = metric.value
+        before_stats = server.scheduler.stats.rejected_malformed
+        ct = session.encrypt("digits", models.dataset.test_images[:2])
+        malformed = [
+            ct[0, :, :, :],  # non-4D
+            ct[:, :0, :, :],  # wrong channel count
+            ct[:0, :, :, :],  # empty batch
+        ]
+        for bad in malformed:
+            with pytest.raises(ServeError):
+                server.scheduler.submit("digits", bad)
+        assert server.scheduler.stats.rejected_malformed - before_stats == 3
+        assert metric.value - before_metric == 3
+        # Malformed is its own reason: the unknown-model path is separate.
+        with pytest.raises(UnknownModelError):
+            server.scheduler.submit("nope", ct)
+        assert metric.value - before_metric == 3
+
+    def test_queue_depth_sampled_at_entry_not_after_overflow_flush(
+        self, batching_params, q_sigmoid, session_for, models
+    ):
+        """An overflow request that forces the open batch to flush first must
+        still record the depth it actually saw on entry (the two queued
+        singles), not the post-flush depth of zero."""
+        srv = EdgeServer(
+            batching_params, seed=13, serve_config=ServeConfig(max_batch=3)
+        )
+        srv.provision_model("digits", q_sigmoid)
+        session = session_for(srv)
+        single = session.encrypt("digits", models.dataset.test_images[:1])
+        pair = session.encrypt("digits", models.dataset.test_images[1:3])
+        for _ in range(2):
+            srv.scheduler.submit("digits", single)
+        late = srv.scheduler.submit("digits", pair)  # 2+2 > 3: flushes early
+        srv.scheduler.drain()
+        spans = [
+            c
+            for t in srv.platform.tracer.traces
+            if t.name == PACKED_SCHEME
+            for c in t.children
+            if c.name == "serve/request"
+        ]
+        by_id = {s.attrs["request_id"]: s.attrs["queue_depth_at_submit"] for s in spans}
+        assert by_id[late.request_id] == 2
+        assert by_id[0] == 0 and by_id[1] == 1
+
+    def test_isolation_counts_isolated_requests_not_flushes(
+        self, server, session, q_sigmoid, models
+    ):
+        """A dead packed flush that recovers via per-request isolation is ONE
+        flush plus N isolated re-runs -- and the re-runs emit the same
+        latency/occupancy observations the happy path would have."""
+        from repro import faults
+        from repro.faults import FaultPlan, FaultRule
+        from repro.obs import metrics
+
+        latency = metrics.registry().histogram(
+            "repro_serve_request_latency_seconds",
+            "Per-request serving latency by phase.",
+            ("model", "phase"),
+        ).labels(model="digits", phase="queue")
+        occupancy = metrics.registry().histogram(
+            "repro_serve_batch_occupancy_ratio",
+            "Packed-flush slot occupancy.",
+            ("model",),
+        ).labels(model="digits")
+        lat_before, occ_before = latency.count, occupancy.count
+        images = models.dataset.test_images[:3]
+        expected = PlaintextPipeline(q_sigmoid).infer(images).logits
+        responses = [
+            server.scheduler.submit("digits", session.encrypt("digits", images[i : i + 1]))
+            for i in range(3)
+        ]
+        stats = server.scheduler.stats
+        flushes_before = stats.flushes
+        # One fire kills the packed pass; every isolated re-run succeeds.
+        plan = FaultPlan(11, rules=[FaultRule(site="he.noise.decrypt", max_fires=1)])
+        with faults.armed(plan):
+            server.scheduler.drain()
+        # The dead packed pass is one isolation, not 3 extra flushes:
+        # `flushes` counts successful packed passes only.
+        assert stats.flushes - flushes_before == 0
+        assert stats.isolated_requests == 3
+        assert stats.isolations == 1
+        assert stats.served == 3 and stats.failed == 0
+        # Same observation cardinality as a clean 3-request flush: one
+        # queue-latency sample per request, occupancy per (re)run.
+        assert latency.count - lat_before == 3
+        assert occupancy.count - occ_before == 3
+        for i, response in enumerate(responses):
+            logits = session.decrypt_logits(response.result())
+            assert np.array_equal(logits[0], expected[i])

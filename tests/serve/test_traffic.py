@@ -1,0 +1,130 @@
+"""Traffic generator: seeded determinism, trace shape, merge discipline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import bursty_trace, merge, poisson_trace
+
+
+class TestDeterminism:
+    def test_same_seed_identical_trace(self):
+        """The SLO bench's reproducibility rests on this: a trace is a pure
+        function of (seed, parameters), arrival for arrival."""
+        kwargs = dict(rate_rps=500.0, duration_s=0.5, users=2000, image_pool=8)
+        a = poisson_trace(42, **kwargs)
+        b = poisson_trace(42, **kwargs)
+        assert a.arrivals == b.arrivals
+
+    def test_different_seed_different_trace(self):
+        kwargs = dict(rate_rps=500.0, duration_s=0.5)
+        assert poisson_trace(1, **kwargs).arrivals != poisson_trace(2, **kwargs).arrivals
+
+    def test_bursty_same_seed_identical(self):
+        kwargs = dict(
+            base_rate_rps=300.0, burst_factor=4.0, period_s=0.1, duration_s=0.5
+        )
+        assert bursty_trace(7, **kwargs).arrivals == bursty_trace(7, **kwargs).arrivals
+
+
+class TestPoissonShape:
+    def test_realized_rate_near_nominal(self):
+        trace = poisson_trace(11, rate_rps=1000.0, duration_s=2.0)
+        assert 0.85 * 1000.0 <= trace.rate_rps <= 1.15 * 1000.0
+
+    def test_times_sorted_and_in_range(self):
+        trace = poisson_trace(11, rate_rps=800.0, duration_s=1.0)
+        times = [a.t_s for a in trace]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 1.0 for t in times)
+        assert [a.seq for a in trace] == list(range(len(trace)))
+
+    def test_thousands_of_simulated_users(self):
+        trace = poisson_trace(3, rate_rps=5000.0, duration_s=1.0, users=3000)
+        assert all(0 <= a.user_id < 3000 for a in trace)
+        assert trace.users > 1000  # 5000 draws over 3000 ids
+
+    def test_priorities_and_pool_indices_in_range(self):
+        trace = poisson_trace(
+            5, rate_rps=2000.0, duration_s=0.5, image_pool=4,
+            priority_weights=(0.2, 0.5, 0.3),
+        )
+        assert {a.priority for a in trace} <= {0, 1, 2}
+        assert all(0 <= a.image_index < 4 for a in trace)
+
+    def test_slo_deadline_carried(self):
+        trace = poisson_trace(5, rate_rps=100.0, duration_s=0.2, slo_deadline_s=0.05)
+        assert all(a.slo_deadline_s == 0.05 for a in trace)
+
+
+class TestBurstyShape:
+    def test_on_phase_denser_than_off_phase(self):
+        trace = bursty_trace(
+            13, base_rate_rps=500.0, burst_factor=4.0, period_s=0.2,
+            on_fraction=0.5, duration_s=2.0,
+        )
+        on = sum(1 for a in trace if (a.t_s % 0.2) < 0.1)
+        off = len(trace) - on
+        assert on > 2 * off  # nominal ratio 4:1; generous band
+
+    def test_factor_one_is_flat(self):
+        trace = bursty_trace(
+            13, base_rate_rps=500.0, burst_factor=1.0, period_s=0.2, duration_s=1.0
+        )
+        assert 0.8 * 500.0 <= trace.rate_rps <= 1.2 * 500.0
+
+
+class TestMergeAndShift:
+    def test_merge_orders_and_reseqs(self):
+        a = poisson_trace(1, rate_rps=300.0, duration_s=0.5)
+        b = bursty_trace(
+            2, base_rate_rps=300.0, burst_factor=4.0, period_s=0.1, duration_s=0.3
+        )
+        m = merge(a, b)
+        times = [x.t_s for x in m]
+        assert times == sorted(times)
+        assert [x.seq for x in m] == list(range(len(m)))
+        assert len(m) == len(a) + len(b)
+
+    def test_shifted_translates_times(self):
+        a = poisson_trace(1, rate_rps=300.0, duration_s=0.2)
+        s = a.shifted(1.5)
+        assert [x.t_s for x in s] == pytest.approx([x.t_s + 1.5 for x in a])
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ServeError):
+            merge()
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(rate_rps=0.0, duration_s=1.0),
+            dict(rate_rps=10.0, duration_s=0.0),
+            dict(rate_rps=10.0, duration_s=1.0, users=0),
+            dict(rate_rps=10.0, duration_s=1.0, image_pool=0),
+            dict(rate_rps=10.0, duration_s=1.0, images_per_request=0),
+            dict(rate_rps=10.0, duration_s=1.0, priority_weights=()),
+            dict(rate_rps=10.0, duration_s=1.0, priority_weights=(-1.0, 2.0)),
+        ],
+    )
+    def test_bad_poisson_params(self, kwargs):
+        with pytest.raises(ServeError):
+            poisson_trace(0, **kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(burst_factor=0.5),
+            dict(period_s=0.0),
+            dict(on_fraction=0.0),
+            dict(on_fraction=1.0),
+        ],
+    )
+    def test_bad_bursty_params(self, kwargs):
+        base = dict(base_rate_rps=10.0, period_s=0.1, duration_s=1.0)
+        base.update(kwargs)
+        with pytest.raises(ServeError):
+            bursty_trace(0, **base)

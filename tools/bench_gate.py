@@ -23,6 +23,7 @@ Usage::
     python tools/bench_gate.py --current-dir .            # compare existing
     python tools/bench_gate.py --run --smoke              # run benches first
     python tools/bench_gate.py --run --smoke --report gate_report.json
+    python tools/bench_gate.py --run --smoke --bench slo  # one bench only
 
 Refreshing baselines (after an intentional performance change)::
 
@@ -30,6 +31,8 @@ Refreshing baselines (after an intentional performance change)::
         --out benchmarks/baselines/BENCH_hotpath.json
     python benchmarks/bench_serving_throughput.py --smoke --min-speedup 1.0 \
         --out benchmarks/baselines/BENCH_serving.json
+    python benchmarks/bench_serving_slo.py --smoke --min-speedup 1.0 \
+        --out benchmarks/baselines/BENCH_slo.json
 """
 
 from __future__ import annotations
@@ -80,6 +83,20 @@ BENCHES: dict[str, dict] = {
             MetricSpec("packed.images_per_s", "ratio"),
             MetricSpec("packed.simulated_s", "timing"),
             MetricSpec("predictions_match", "invariant"),
+        ),
+    },
+    "slo": {
+        "file": "BENCH_slo.json",
+        "script": "benchmarks/bench_serving_slo.py",
+        "metrics": (
+            MetricSpec("throughput_ratio", "ratio"),
+            MetricSpec("continuous.images_per_s", "ratio"),
+            MetricSpec("continuous.occupancy_mean", "ratio"),
+            MetricSpec("continuous.p99_queue_wait_s", "timing"),
+            MetricSpec("slo.p99_bounded", "invariant"),
+            MetricSpec("slo.shed_rate_bounded", "invariant"),
+            MetricSpec("slo.all_tickets_resolved", "invariant"),
+            MetricSpec("bit_identical.logits", "invariant"),
         ),
     },
 }
@@ -140,7 +157,8 @@ def _run_bench(name: str, smoke: bool, out: Path) -> None:
 def gate(args) -> tuple[bool, dict]:
     """Compare current reports with baselines; returns (ok, report dict)."""
     results = {"benches": {}, "ok": True}
-    for name, bench in BENCHES.items():
+    for name in args.bench or list(BENCHES):
+        bench = BENCHES[name]
         baseline_path = Path(args.baseline_dir) / bench["file"]
         current_path = Path(args.current_dir) / bench["file"]
         bench_result = {
@@ -193,7 +211,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--run",
         action="store_true",
-        help="run both benchmark scripts into --current-dir first",
+        help="run the selected benchmark scripts into --current-dir first",
+    )
+    parser.add_argument(
+        "--bench",
+        action="append",
+        choices=sorted(BENCHES),
+        default=None,
+        help="gate only this bench (repeatable; default: all)",
     )
     parser.add_argument(
         "--smoke", action="store_true", help="pass --smoke to the benches (with --run)"
@@ -216,8 +241,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.run:
-        for name, bench in BENCHES.items():
-            _run_bench(name, args.smoke, Path(args.current_dir) / bench["file"])
+        for name in args.bench or list(BENCHES):
+            _run_bench(name, args.smoke, Path(args.current_dir) / BENCHES[name]["file"])
 
     ok, results = gate(args)
     for name, bench_result in results["benches"].items():
