@@ -1,0 +1,287 @@
+#!/usr/bin/env python
+"""Fleet scaling: images/sec and paying-class p99 at 1, 2 and 4 replicas.
+
+The single-enclave serving loop pins its throughput to one flush in flight;
+the :class:`~repro.faults.FleetManager` multiplies the enclave behind the
+same key pair (sealed-key migration, quote-verified joins).  This bench
+asks the scaling question directly: *replay one seeded saturating trace on
+fleets of 1, 2 and 4 replicas -- what do throughput and tail latency do,
+and are the answers still bit-identical?*
+
+For each fleet size it builds the deployment declaratively
+(:class:`~repro.core.PipelineSpec` -> ``EdgeServer.from_spec``),
+establishes one attested client session (:mod:`repro.client` -- the SDK is
+the only enrollment path used here), replays the identical arrival trace
+through the event-driven loop, and records:
+
+* ``fleets.<n>.*`` -- the loop's deterministic SLO report (images/sec on
+  the virtual timeline, occupancy, p50/p99 queue wait) plus the
+  paying-class p99 (priority 0 and 1);
+* ``scaling.ratio_4x`` / ``scaling.ratio_2x`` -- images/sec relative to
+  the 1-replica run.  The gate holds ``ratio_4x >= --min-speedup``
+  (default 2.5: routing, joins and the shared arrival tail cost something;
+  linear 4.0 is the ceiling);
+* ``invariants.bit_identical`` -- every served request on every fleet size
+  decrypts to the plaintext reference for its image, bit for bit: replicas
+  share one migrated key pair, so scaling must be invisible in the logits;
+* ``failover.*`` -- a fourth run (2 replicas) arms a deterministic fault
+  plan that destroys replica 0 at its fourth dispatch, mid-trace.  The
+  batch fails over whole, the dead replica retires, every ticket resolves,
+  and the served logits stay bit-identical.
+
+Arrivals, service times, routing and the fault plan are all deterministic
+given ``--seed``, so the emitted report is bit-reproducible.  Emits
+``BENCH_fleet.json``; exits nonzero if an invariant fails or ``ratio_4x``
+falls below ``--min-speedup``.
+
+Run ``--smoke`` for the CI-sized configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro import faults
+from repro.client import AttestedClient
+from repro.core import EdgeServer, PipelineSpec, PlaintextPipeline, train_paper_models
+from repro.faults import FaultPlan, FaultRule
+from repro.serve import LoopConfig, ServiceTimeModel, ServingLoop, poisson_trace
+from repro.sgx import AttestationVerificationService
+
+#: Deterministic flush model shared by every run (4 ms fixed + 0.5 ms/image).
+SERVICE_MODEL = ServiceTimeModel(base_s=4e-3, per_image_s=5e-4)
+
+
+def build_deployment(quantized, *, poly_degree, max_batch, fleet_size, seed):
+    """One fleet deployment plus its attested client session, the SDK way."""
+    spec = PipelineSpec(
+        scheme="hybrid",
+        poly_degree=poly_degree,
+        batching=True,
+        fleet_size=fleet_size,
+        max_batch=max_batch,
+    )
+    server = EdgeServer.from_spec(spec, seed=seed, sizing_model=quantized)
+    server.provision_model("digits", quantized)
+    verifier = AttestationVerificationService()
+    verifier.register_platform(server.quoting)
+    client = AttestedClient(server, verifier, b"\x42" * 32).establish()
+    return server, client
+
+
+def replay(server, client, trace, pool, expected, config):
+    """Replay ``trace`` through a fresh loop; report + bit-identity verdict."""
+    loop = ServingLoop(server, config)
+    for arrival in trace:
+        loop.offer(arrival, pool[arrival.image_index])
+    loop.run()
+    report = loop.report()
+    paying = [t.queue_wait_s for t in loop.tickets if t.served and t.priority <= 1]
+    report["p99_queue_wait_paying_s"] = (
+        float(np.percentile(paying, 99)) if paying else 0.0
+    )
+    bit_identical = all(
+        np.array_equal(
+            client.decrypt_logits(t.result()),
+            expected[t.image_index : t.image_index + 1],
+        )
+        for t in loop.tickets
+        if t.served
+    )
+    resolved = all(t.done() for t in loop.tickets)
+    return loop, report, bit_identical, resolved
+
+
+def run(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized model and trace"
+    )
+    parser.add_argument("--seed", type=int, default=42, help="trace + fault seed")
+    parser.add_argument("--out", default="BENCH_fleet.json", help="JSON results path")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.5,
+        help="fail below this 4-replica vs 1-replica images/sec ratio",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        train_kwargs = dict(
+            train_size=300, test_size=60, epochs=2, image_size=10, channels=2,
+            kernel_size=3,
+        )
+        poly_degree = 256
+        max_batch = 8
+        rate_rps, duration_s = 4500.0, 0.08
+        users = 1000
+        image_pool = 6
+    else:
+        train_kwargs = dict(train_size=1200, test_size=300, epochs=6)
+        poly_degree = 1024
+        max_batch = 16
+        rate_rps, duration_s = 9000.0, 0.08
+        users = 4000
+        image_pool = 8
+
+    # Saturating closed bolus of work: the offered load exceeds 4x one
+    # replica's capacity, no admission shedding (the SLO is the question
+    # here, not the policy), so every fleet size serves the identical
+    # request set and images/sec isolates pure flush parallelism.
+    config = LoopConfig(
+        window_s=0.010,
+        max_queue_depth=4096,
+        admit_wait_slo_s=30.0,
+        service_model=SERVICE_MODEL,
+    )
+
+    print(f"training model ({'smoke' if args.smoke else 'full'} config)...")
+    models = train_paper_models(**train_kwargs)
+    quantized = models.quantized_sigmoid()
+    pool_images = models.dataset.test_images[:image_pool]
+    expected = PlaintextPipeline(quantized).infer(pool_images).logits
+
+    trace = poisson_trace(
+        args.seed,
+        rate_rps=rate_rps,
+        duration_s=duration_s,
+        users=users,
+        image_pool=image_pool,
+    )
+    print(
+        f"trace: {len(trace)} arrivals over {trace.duration_s:.2f}s "
+        f"({trace.rate_rps:.0f} rps realized, {trace.users} users)"
+    )
+
+    fleets: dict[str, dict] = {}
+    bit_identical = True
+    all_resolved = True
+    for fleet_size in (1, 2, 4):
+        server, client = build_deployment(
+            quantized,
+            poly_degree=poly_degree,
+            max_batch=max_batch,
+            fleet_size=fleet_size,
+            seed=13,
+        )
+        pool = [
+            client.encrypt("digits", pool_images[i : i + 1])
+            for i in range(image_pool)
+        ]
+        print(f"replaying on {fleet_size} replica(s)...")
+        _, report, exact, resolved = replay(
+            server, client, trace, pool, expected, config
+        )
+        bit_identical = bit_identical and exact
+        all_resolved = all_resolved and resolved
+        fleets[str(fleet_size)] = report
+        print(
+            f"  fleet {fleet_size}: {report['images_per_s']:.0f} images/s, "
+            f"{report['flushes']} flushes, "
+            f"p99 wait {report['p99_queue_wait_s'] * 1e3:.1f} ms "
+            f"(paying {report['p99_queue_wait_paying_s'] * 1e3:.1f} ms), "
+            f"bit-identical {exact}"
+        )
+
+    base_ips = fleets["1"]["images_per_s"]
+    scaling = {
+        "ratio_2x": fleets["2"]["images_per_s"] / base_ips if base_ips else 0.0,
+        "ratio_4x": fleets["4"]["images_per_s"] / base_ips if base_ips else 0.0,
+        "min_speedup": args.min_speedup,
+    }
+
+    # Failover segment: 2 replicas, replica 0 destroyed at its 4th
+    # dispatch -- mid-trace, with batches in flight behind it.
+    print("replaying failover segment (2 replicas, replica 0 dies mid-run)...")
+    server, client = build_deployment(
+        quantized, poly_degree=poly_degree, max_batch=max_batch,
+        fleet_size=2, seed=13,
+    )
+    pool = [
+        client.encrypt("digits", pool_images[i : i + 1]) for i in range(image_pool)
+    ]
+    plan = FaultPlan(
+        args.seed,
+        rules=[
+            FaultRule(site="serve.fleet.replica", name="0", after=3, max_fires=1)
+        ],
+    )
+    with faults.armed(plan):
+        loop, fo_report, fo_exact, fo_resolved = replay(
+            server, client, trace, pool, expected, config
+        )
+    failover = {
+        "fired": plan.fires("serve.fleet.replica"),
+        "retired": sorted(server.fleet.retired_replicas()),
+        "live": server.fleet.live_replicas(),
+        "served": fo_report["served"],
+        "images_per_s": fo_report["images_per_s"],
+    }
+    print(
+        f"  failover: {failover['served']} served on survivor "
+        f"{failover['live']}, retired {failover['retired']}, "
+        f"bit-identical {fo_exact}"
+    )
+
+    invariants = {
+        "scaling_met": scaling["ratio_4x"] >= args.min_speedup,
+        "bit_identical": bit_identical,
+        "all_tickets_resolved": all_resolved,
+        "failover_resolved": fo_resolved and failover["retired"] == [0],
+        "failover_bit_identical": fo_exact,
+    }
+    report = {
+        "config": {
+            "mode": "smoke" if args.smoke else "full",
+            "seed": args.seed,
+            "poly_degree": poly_degree,
+            "max_batch": max_batch,
+            "rate_rps": rate_rps,
+            "arrivals": len(trace),
+            "users": trace.users,
+            "window_s": config.window_s,
+            "service_base_s": SERVICE_MODEL.base_s,
+            "service_per_image_s": SERVICE_MODEL.per_image_s,
+            "min_speedup": args.min_speedup,
+        },
+        "fleets": fleets,
+        "scaling": scaling,
+        "failover": failover,
+        "invariants": invariants,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+
+    print(
+        f"scaling: 2 replicas {scaling['ratio_2x']:.2f}x, "
+        f"4 replicas {scaling['ratio_4x']:.2f}x "
+        f"(floor {args.min_speedup}x)   bit-identical: {bit_identical}"
+    )
+    print(f"wrote {args.out}")
+
+    failures = []
+    if not invariants["bit_identical"]:
+        failures.append("served logits diverge from the plaintext reference")
+    if not invariants["all_tickets_resolved"]:
+        failures.append("some tickets never resolved")
+    if not invariants["scaling_met"]:
+        failures.append(
+            f"4-replica scaling {scaling['ratio_4x']:.2f}x below required "
+            f"{args.min_speedup}x"
+        )
+    if not invariants["failover_resolved"]:
+        failures.append("failover segment left tickets unresolved or never retired")
+    if not invariants["failover_bit_identical"]:
+        failures.append("failover segment logits diverge from plaintext")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(run())

@@ -46,15 +46,15 @@ import sys
 
 import numpy as np
 
+from repro.client import AttestedClient
 from repro.core import (
     EdgeServer,
+    PipelineSpec,
     PlaintextPipeline,
-    parameters_for_pipeline,
     train_paper_models,
 )
 from repro.serve import (
     LoopConfig,
-    ServeConfig,
     ServiceTimeModel,
     ServingLoop,
     bursty_trace,
@@ -179,20 +179,20 @@ def run(argv: list[str] | None = None) -> int:
     print(f"training model ({'smoke' if args.smoke else 'full'} config)...")
     models = train_paper_models(**train_kwargs)
     quantized = models.quantized_sigmoid()
-    params = parameters_for_pipeline(quantized, poly_degree, batching=True)
-
-    server = EdgeServer(
-        params, seed=13, serve_config=ServeConfig(max_batch=max_batch)
+    spec = PipelineSpec(
+        scheme="hybrid", poly_degree=poly_degree, batching=True,
+        max_batch=max_batch,
     )
+    server = EdgeServer.from_spec(spec, seed=13, sizing_model=quantized)
     server.provision_model("digits", quantized)
     verifier = AttestationVerificationService()
     verifier.register_platform(server.quoting)
-    session = server.enroll_user(entropy=b"\x42" * 32, verifier=verifier)
+    client = AttestedClient(server, verifier, b"\x42" * 32).establish()
 
     pool_images = models.dataset.test_images[:image_pool]
     expected = PlaintextPipeline(quantized).infer(pool_images).logits
     pool = [
-        session.encrypt("digits", pool_images[i : i + 1]) for i in range(image_pool)
+        client.encrypt("digits", pool_images[i : i + 1]) for i in range(image_pool)
     ]
 
     steady = poisson_trace(
@@ -235,7 +235,7 @@ def run(argv: list[str] | None = None) -> int:
     for ticket in loop.tickets:
         if not ticket.served:
             continue
-        logits = session.decrypt_logits(ticket.result())
+        logits = client.decrypt_logits(ticket.result())
         if not np.array_equal(logits, expected[ticket.image_index : ticket.image_index + 1]):
             bit_identical = False
             break
@@ -259,7 +259,7 @@ def run(argv: list[str] | None = None) -> int:
         "config": {
             "mode": "smoke" if args.smoke else "full",
             "seed": args.seed,
-            "poly_degree": params.poly_degree,
+            "poly_degree": server.params.poly_degree,
             "max_batch": loop.capacity,
             "steady_rps": steady_rps,
             "burst_factor": 4.0,

@@ -29,12 +29,14 @@ import sys
 
 import numpy as np
 
+from repro.client import AttestedClient
 from repro.core import (
     EdgeServer,
+    PipelineSpec,
     PlaintextPipeline,
-    parameters_for_pipeline,
     train_paper_models,
 )
+from repro.serve import InferenceRequest
 from repro.sgx import AttestationVerificationService
 
 
@@ -70,13 +72,13 @@ def run(argv: list[str] | None = None) -> int:
     print(f"training model ({'smoke' if args.smoke else 'full'} config)...")
     models = train_paper_models(**train_kwargs)
     quantized = models.quantized_sigmoid()
-    params = parameters_for_pipeline(quantized, poly_degree, batching=True)
-
-    server = EdgeServer(params, seed=13)
+    spec = PipelineSpec(scheme="hybrid", poly_degree=poly_degree, batching=True)
+    server = EdgeServer.from_spec(spec, seed=13, sizing_model=quantized)
     server.provision_model("digits", quantized)
     verifier = AttestationVerificationService()
     verifier.register_platform(server.quoting)
-    session = server.enroll_user(entropy=b"\x42" * 32, verifier=verifier)
+    client = AttestedClient(server, verifier, b"\x42" * 32).establish()
+    params = server.params
     clock = server.platform.clock
 
     images = models.dataset.test_images[: args.requests]
@@ -85,22 +87,25 @@ def run(argv: list[str] | None = None) -> int:
             f"test split has only {len(images)} images, need {args.requests}"
         )
     requests = [
-        session.encrypt("digits", images[i : i + 1]) for i in range(args.requests)
+        client.encrypt("digits", images[i : i + 1]) for i in range(args.requests)
     ]
     reference = PlaintextPipeline(quantized).infer(images).predictions
 
     print(f"serving {args.requests} requests sequentially...")
     start = clock.now_s
-    sequential = [server.infer("digits", ct) for ct in requests]
+    sequential = [
+        server.infer(InferenceRequest(model="digits", ciphertext=ct))
+        for ct in requests
+    ]
     sequential_s = clock.now_s - start
-    sequential_preds = np.concatenate([session.decrypt(r) for r in sequential])
+    sequential_preds = np.concatenate([client.decrypt(r) for r in sequential])
 
     print(f"serving {args.requests} requests slot-packed...")
     start = clock.now_s
     responses = [server.scheduler.submit("digits", ct) for ct in requests]
     server.scheduler.drain()
     packed_s = clock.now_s - start
-    packed_preds = np.concatenate([session.decrypt(r.result()) for r in responses])
+    packed_preds = np.concatenate([client.decrypt(r.result()) for r in responses])
 
     speedup = sequential_s / packed_s
     predictions_match = bool(

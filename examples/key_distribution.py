@@ -6,10 +6,14 @@ Reproduces the architectural comparison of the paper's Figs. 1 and 2:
 * Fig. 1 (baseline): an external trusted third party generates keys and
   hands them out -- it knows everyone's secret key, the channel is
   wiretappable, and relinearization keys need extra rounds.
-* Fig. 2 (the framework): the edge server's own enclave generates the keys,
-  proves its code identity through a simulated DCAP attestation chain, and
-  delivers the key pair over an authenticated DH channel bound into the
-  attested user_data.  Tampering anywhere breaks the flow, demonstrably.
+* Fig. 2 (the framework): the edge server's own enclave generates the
+  keys and proves its code identity through a simulated DCAP attestation
+  chain.  The client side is the SDK's attested-connection state machine
+  (:class:`~repro.client.AttestedClient`): CONNECT reads the fleet
+  descriptor, VERIFY_QUOTE runs the authenticated DH exchange and checks
+  the quote, SESSION_PINNED fingerprints the delivered key pair, READY
+  builds the crypto endpoints.  Tampering anywhere breaks a specific
+  transition with a specific typed error, demonstrably.
 
 Run:
     python examples/key_distribution.py
@@ -17,19 +21,11 @@ Run:
 
 from __future__ import annotations
 
-import dataclasses
-
-import numpy as np
-
-from repro.core import (
-    InferenceEnclave,
-    SgxKeyDistribution,
-    TrustedThirdParty,
-    UserClient,
-)
-from repro.errors import AttestationError
-from repro.he import Context, Decryptor, Encryptor, ScalarEncoder, paper_parameters
-from repro.sgx import AttestationVerificationService, QuotingService, SgxPlatform
+from repro.client import AttestedClient, SessionState
+from repro.core import EdgeServer, PipelineSpec, TrustedThirdParty, train_paper_models
+from repro.errors import QuoteVerificationError, SessionPinError
+from repro.he import paper_parameters
+from repro.sgx import AttestationVerificationService
 
 
 def demo_ttp(params) -> None:
@@ -44,75 +40,68 @@ def demo_ttp(params) -> None:
           f"{leaked.secret is keys.secret}")
 
 
-def demo_attested(params) -> None:
+def demo_attested() -> None:
     print("\n== Fig. 2: the enclave as built-in key authority ==")
-    platform = SgxPlatform()
-    enclave = platform.load_enclave(InferenceEnclave, params, seed=2)
-    enclave.ecall("generate_keys")
-    quoting = QuotingService(platform, platform_id="cav-edge-7")
+    models = train_paper_models(train_size=200, test_size=40, epochs=2,
+                                image_size=10, channels=2, kernel_size=3)
+    quantized = models.quantized_sigmoid()
+    spec = PipelineSpec(scheme="hybrid", poly_degree=256, batching=True)
+    server = EdgeServer.from_spec(spec, seed=2, sizing_model=quantized)
+    server.provision_model("digits", quantized)
     verifier = AttestationVerificationService()
-    verifier.register_platform(quoting)  # Intel-style provisioning
-    print(f"   enclave MRENCLAVE: {enclave.measurement.mrenclave[:20]}...")
+    verifier.register_platform(server.quoting)  # Intel-style provisioning
+    print(f"   enclave MRENCLAVE: {server.descriptor()['mrenclave'][:20]}...")
 
-    user = UserClient(
-        params=params,
-        verifier=verifier,
-        expected_mrenclave=enclave.measurement.mrenclave,
-        entropy=np.random.default_rng(3).bytes(32),
-    )
-    service = SgxKeyDistribution(platform=platform, enclave=enclave, quoting=quoting)
-    quote, sealed = service.serve_exchange(user.begin_exchange())
-    print(f"   quote from platform {quote.platform_id}: "
-          f"{len(sealed.ciphertext)} encrypted key bytes in transit")
-    keys = user.complete_exchange(quote, sealed)
-
-    context = Context(params)
-    encoder = ScalarEncoder(context)
-    # The paper's t = 4 only leaves the centered range (-2, 2] -- encode 2.
-    ct = Encryptor(context, keys.public, np.random.default_rng(4)).encrypt(encoder.encode(2))
-    value = encoder.decode(Decryptor(context, keys.secret).decrypt(ct))
-    print(f"   delivered keys round-trip an encryption: 2 -> {value}")
+    user = AttestedClient(server, verifier, b"\x2a" * 32)
+    print(f"   session starts {user.state.value}; walking the state machine:")
+    descriptor = user.connect()
+    print(f"     CONNECT       -> {user.state.value} "
+          f"(models {descriptor['models']}, replicas {descriptor['replicas']})")
+    user.verify_quote()
+    print(f"     VERIFY_QUOTE  -> {user.state.value} (quote checked, DH done)")
+    fingerprint = user.pin_session()
+    print(f"     PIN_SESSION   -> {user.state.value} "
+          f"(key fingerprint {fingerprint[:16]}...)")
+    user.activate()
+    print(f"     ACTIVATE      -> {user.state.value}")
+    image = models.dataset.test_images[:1]
+    prediction = user.predict("digits", image)[0]
+    print(f"   delivered keys round-trip an encrypted inference: "
+          f"prediction {prediction} (label {models.dataset.test_labels[0]})")
 
     print("\n   -- attack drills --")
-    forged = dataclasses.replace(sealed, ciphertext=bytes(len(sealed.ciphertext)))
+    impostor = AttestedClient(server, verifier, b"\x05" * 32,
+                              expected_mrenclave="0" * 64)
+    impostor.connect()
     try:
-        user2 = UserClient(params=params, verifier=verifier,
-                           expected_mrenclave=enclave.measurement.mrenclave,
-                           entropy=np.random.default_rng(5).bytes(32))
-        q2, s2 = service.serve_exchange(user2.begin_exchange())
-        user2.complete_exchange(q2, forged)
-    except AttestationError as exc:
-        print(f"   host swaps the key payload      -> rejected: {exc}")
+        impostor.verify_quote()
+    except QuoteVerificationError as exc:
+        print(f"   enclave code identity mismatch  -> {impostor.state.value}: {exc}")
 
+    rogue = AttestedClient(server, AttestationVerificationService(), b"\x06" * 32)
+    rogue.connect()
     try:
-        user3 = UserClient(params=params, verifier=verifier,
-                           expected_mrenclave="0" * 64,
-                           entropy=np.random.default_rng(6).bytes(32))
-        q3, s3 = service.serve_exchange(user3.begin_exchange())
-        user3.complete_exchange(q3, s3)
-    except AttestationError as exc:
-        print(f"   enclave code identity mismatch  -> rejected: {exc}")
+        rogue.verify_quote()
+    except QuoteVerificationError as exc:
+        print(f"   unprovisioned platform          -> {rogue.state.value}: {exc}")
 
-    rogue_verifier = AttestationVerificationService()
+    server.fleet.rotate_keys()
     try:
-        user4 = UserClient(params=params, verifier=rogue_verifier,
-                           expected_mrenclave=enclave.measurement.mrenclave,
-                           entropy=np.random.default_rng(7).bytes(32))
-        q4, s4 = service.serve_exchange(user4.begin_exchange())
-        user4.complete_exchange(q4, s4)
-    except AttestationError as exc:
-        print(f"   unprovisioned platform          -> rejected: {exc}")
+        user.reconnect()
+    except SessionPinError as exc:
+        print(f"   fleet rotated keys under a pin  -> {user.state.value}: {exc}")
+    assert user.state is SessionState.FAILED
 
     print("\n   No third party exists; the host only ever relays public or")
-    print("   encrypted bytes; relinearization keys come from the enclave on")
-    print("   demand (and the refresh path removes the need for them at all).")
+    print("   encrypted bytes; a FAILED session never gets a second chance --")
+    print("   trust is re-established only by a fresh AttestedClient.")
 
 
 def main() -> None:
     params = paper_parameters()  # the paper's n=1024 SEAL 2.1 configuration
     print(f"FV parameters: {params.describe()}\n")
     demo_ttp(params)
-    demo_attested(params)
+    demo_attested()
 
 
 if __name__ == "__main__":

@@ -20,6 +20,9 @@ Options:
                                        # trace through the event-driven
                                        # continuous-batching serving loop and
                                        # print its SLO report
+    python -m repro --serve-demo --fleet 2
+                                       # same, on a 2-replica enclave fleet
+                                       # (sealed-key migration + routing)
 """
 
 from __future__ import annotations
@@ -36,11 +39,17 @@ def _parse(argv: list[str]) -> tuple[dict[str, object], int | None]:
         "metrics": False,
         "metrics_json": None,
         "serve_demo": False,
+        "fleet": 1,
     }
     args = list(argv)
     while args:
         arg = args.pop(0)
-        if arg == "--trace-json":
+        if arg == "--fleet":
+            if not args or not args[0].isdigit() or int(args[0]) < 1:
+                print(__doc__)
+                return opts, 2
+            opts["fleet"] = int(args.pop(0))
+        elif arg == "--trace-json":
             if not args:
                 print(__doc__)
                 return opts, 2
@@ -77,11 +86,12 @@ def _metrics_demo(models, quantized) -> None:
     paging costs accrue).
     """
     from repro import faults
-    from repro.core import EdgeServer, parameters_for_pipeline
+    from repro.client import AttestedClient
+    from repro.core import EdgeServer, PipelineSpec
     from repro.errors import EnclaveCrashed
     from repro.sgx import AttestationVerificationService
 
-    params = parameters_for_pipeline(quantized, 256, batching=True)
+    spec = PipelineSpec(scheme="hybrid", poly_degree=256, batching=True)
     plan = faults.FaultPlan(
         seed=5,
         rules=[
@@ -93,39 +103,39 @@ def _metrics_demo(models, quantized) -> None:
                              max_fires=1),
         ],
     )
-    server = EdgeServer(params, seed=13)
+    server = EdgeServer.from_spec(spec, seed=13, sizing_model=quantized)
     server.provision_model("digits", quantized)
     verifier = AttestationVerificationService()
     verifier.register_platform(server.quoting)
-    session = server.enroll_user(entropy=b"\x42" * 32, verifier=verifier)
+    client = AttestedClient(server, verifier, b"\x42" * 32).establish()
     images = models.dataset.test_images
     with faults.armed(plan):
         for round_start in (0, 2):
             for i in range(round_start, round_start + 2):
-                server.scheduler.submit("digits", session.encrypt("digits", images[i : i + 1]))
+                server.scheduler.submit(
+                    "digits", client.encrypt("digits", images[i : i + 1])
+                )
             server.scheduler.drain("digits")
     print(f"serving segment: 4 requests in 2 packed flushes, "
           f"{plan.fires()} fault(s) fired, "
           f"{server.enclave.restarts} enclave restart(s)")
 
 
-def _serve_demo(training: dict, dims: dict) -> int:
+def _serve_demo(training: dict, dims: dict, fleet: int) -> int:
     """Replay a seeded open-loop trace through the serving loop.
 
     A steady Poisson phase followed by a 4x on/off burst, continuous
-    batching on a CRT-batching edge server; prints the deterministic SLO
-    report (virtual-timeline waits, occupancy, shed rate) and verifies a
-    served request's logits against the plaintext reference.
+    batching on a CRT-batching edge server (optionally a multi-replica
+    fleet); prints the deterministic SLO report (virtual-timeline waits,
+    occupancy, shed rate) and verifies a served request's logits against
+    the plaintext reference.  Built the declarative way: a
+    :class:`~repro.core.PipelineSpec` describes the deployment and the
+    :class:`~repro.client.AttestedClient` SDK establishes the session.
     """
-    from repro.core import (
-        EdgeServer,
-        PlaintextPipeline,
-        parameters_for_pipeline,
-        train_paper_models,
-    )
+    from repro.client import AttestedClient
+    from repro.core import EdgeServer, PipelineSpec, PlaintextPipeline, train_paper_models
     from repro.serve import (
         LoopConfig,
-        ServeConfig,
         ServingLoop,
         bursty_trace,
         merge,
@@ -134,21 +144,26 @@ def _serve_demo(training: dict, dims: dict) -> int:
     from repro.sgx import AttestationVerificationService
 
     print("repro: serving-loop demo (continuous batching under open-loop traffic)")
-    print(f"dimensions: {dims}\n")
+    print(f"dimensions: {dims}   fleet: {fleet} replica(s)\n")
     models = train_paper_models(**training, **dims)
     quantized = models.quantized_sigmoid()
-    params = parameters_for_pipeline(quantized, 256, batching=True)
-    server = EdgeServer(params, seed=13, serve_config=ServeConfig(max_batch=8))
+    spec = PipelineSpec(
+        scheme="hybrid", poly_degree=256, batching=True,
+        fleet_size=fleet, max_batch=8,
+    )
+    server = EdgeServer.from_spec(spec, seed=13, sizing_model=quantized)
     server.provision_model("digits", quantized)
     verifier = AttestationVerificationService()
     verifier.register_platform(server.quoting)
-    session = server.enroll_user(entropy=b"\x42" * 32, verifier=verifier)
+    client = AttestedClient(server, verifier, b"\x42" * 32).establish()
+    print(f"client session: {client.state.value} "
+          f"(pinned key {client.pinned_fingerprint[:16]}...)")
 
     image_pool = 4
     pool_images = models.dataset.test_images[:image_pool]
     expected = PlaintextPipeline(quantized).infer(pool_images).logits
     pool = [
-        session.encrypt("digits", pool_images[i : i + 1]) for i in range(image_pool)
+        client.encrypt("digits", pool_images[i : i + 1]) for i in range(image_pool)
     ]
     steady = poisson_trace(
         42, rate_rps=300.0, duration_s=0.15, users=1000, image_pool=image_pool
@@ -181,7 +196,7 @@ def _serve_demo(training: dict, dims: dict) -> int:
     served = next(t for t in loop.tickets if t.served)
     exact = bool(
         np.array_equal(
-            session.decrypt_logits(served.result()),
+            client.decrypt_logits(served.result()),
             expected[served.image_index : served.image_index + 1],
         )
     )
@@ -225,7 +240,7 @@ def main(argv: list[str]) -> int:
         dims = dict(image_size=12, channels=2, kernel_size=3)
         training = dict(train_size=600, test_size=150, epochs=6)
     if opts["serve_demo"]:
-        return _serve_demo(training, dims)
+        return _serve_demo(training, dims, int(opts["fleet"]))
     print("repro: Privacy-Preserving NN Inference via HE + SGX (ICDCS 2021)")
     print(f"dimensions: {dims}\n")
     models = train_paper_models(**training, **dims)

@@ -1,0 +1,13 @@
+"""Client SDK (``repro.client``): the attested-connection state machine.
+
+The single supported entry point for talking to an
+:class:`~repro.core.server.EdgeServer` fleet: an :class:`AttestedClient`
+walks CONNECT -> VERIFY_QUOTE -> SESSION_PINNED -> READY with a typed error
+per transition, pins the delivered HE key fingerprint, and survives replica
+crashes via :meth:`AttestedClient.reconnect` with bit-identical results.
+See DESIGN.md §14 and ``examples/multi_user_service.py``.
+"""
+
+from repro.client.session import AttestedClient, SessionState, key_fingerprint
+
+__all__ = ["AttestedClient", "SessionState", "key_fingerprint"]

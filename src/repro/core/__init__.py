@@ -47,8 +47,10 @@ from repro.core.keyflow import (
     establish_user_keys,
 )
 from repro.core.pipeline import (
+    KERNEL_PROFILES,
     SCHEME_ALIASES,
     InferencePipeline,
+    PipelineSpec,
     build_pipeline,
     resolve_scheme,
 )
@@ -86,7 +88,9 @@ __all__ = [
     "InferenceEnclave",
     "InferencePipeline",
     "InferenceResult",
+    "KERNEL_PROFILES",
     "MODES",
+    "PipelineSpec",
     "SCHEME_ALIASES",
     "MeasuredChoice",
     "PlaintextPipeline",

@@ -13,7 +13,8 @@ configured pipeline, auto-sizing FV parameters when none are supplied.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -28,6 +29,7 @@ from repro.errors import PipelineError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.he.params import EncryptionParams
+    from repro.serve.scheduler import ServeConfig
 
 
 @runtime_checkable
@@ -82,8 +84,133 @@ def resolve_scheme(scheme: str) -> str:
     return canonical
 
 
+#: Kernel profile names a :class:`PipelineSpec` accepts.
+KERNEL_PROFILES = ("fused", "reference")
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Declarative description of a pipeline / serving deployment.
+
+    One frozen value captures everything :func:`build_pipeline`,
+    ``EdgeServer.from_spec`` and the benchmarks previously spread over
+    positional arguments and ad-hoc keywords: the scheme, how to size (or
+    which exact) FV parameters, the hot-path kernel profile, the enclave
+    fleet size, and the serving queue bounds.  Being frozen, a spec can sit
+    in a bench baseline or a CLI flag table and be reused without aliasing.
+
+    Attributes:
+        scheme: canonical name or alias from :data:`SCHEME_ALIASES`
+            (normalized at construction).
+        params: exact FV parameters; when None they are auto-sized from the
+            quantized model at build time.
+        poly_degree: degree for auto-sizing (ignored when ``params`` given).
+        batching: force a batching-capable plaintext modulus when
+            auto-sizing; None picks the scheme default (on for ``simd`` and
+            whenever a serving knob -- fleet size or queue bound -- is set).
+        kernel_profile: ``"fused"`` or ``"reference"`` to install that
+            hot-path profile at build time; None leaves the process profile
+            untouched.
+        fleet_size: enclave replicas for ``EdgeServer.from_spec`` (>= 1).
+        max_queue_depth / max_batch / window_s: scheduler queue bounds; any
+            set value flows into the server's
+            :class:`~repro.serve.ServeConfig`.
+        options: extra scheme-specific constructor options (``mode``,
+            ``platform``, ``seed``, ``clock``), merged under explicit
+            keywords passed to :func:`build_pipeline`.
+    """
+
+    scheme: str = "hybrid"
+    params: "EncryptionParams | None" = None
+    poly_degree: int = 1024
+    batching: bool | None = None
+    kernel_profile: str | None = None
+    fleet_size: int = 1
+    max_queue_depth: int | None = None
+    max_batch: int | None = None
+    window_s: float | None = None
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scheme", resolve_scheme(self.scheme))
+        if self.poly_degree < 2:
+            raise PipelineError("poly_degree must be >= 2")
+        if self.kernel_profile is not None and self.kernel_profile not in KERNEL_PROFILES:
+            raise PipelineError(
+                f"kernel_profile must be one of {KERNEL_PROFILES}, "
+                f"got {self.kernel_profile!r}"
+            )
+        if self.fleet_size < 1:
+            raise PipelineError("fleet_size must be >= 1")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise PipelineError("max_queue_depth must be >= 1")
+        if self.max_batch is not None and self.max_batch < 1:
+            raise PipelineError("max_batch must be >= 1")
+        if self.window_s is not None and self.window_s < 0:
+            raise PipelineError("window_s must be >= 0")
+
+    def wants_batching(self) -> bool:
+        """Whether auto-sized parameters should support CRT slot packing."""
+        if self.batching is not None:
+            return self.batching
+        serving = (
+            self.fleet_size > 1
+            or self.max_queue_depth is not None
+            or self.max_batch is not None
+            or self.window_s is not None
+        )
+        return self.scheme == "simd" or serving
+
+    def resolve_params(self, quantized=None) -> "EncryptionParams":
+        """The spec's exact parameters, or auto-sized ones for ``quantized``."""
+        if self.params is not None:
+            return self.params
+        if quantized is None:
+            raise PipelineError(
+                "this spec carries no explicit params; pass the quantized "
+                "model to size parameters against"
+            )
+        return parameters_for_pipeline(
+            quantized, self.poly_degree, batching=self.wants_batching()
+        )
+
+    def apply_kernel_profile(self) -> None:
+        """Install the spec's kernel profile process-wide (no-op when None)."""
+        if self.kernel_profile is None:
+            return
+        from repro.he import kernels
+
+        kernels.configure(
+            kernels.FUSED if self.kernel_profile == "fused" else kernels.REFERENCE
+        )
+
+    def serve_config(self) -> "ServeConfig | None":
+        """A :class:`~repro.serve.ServeConfig` from the spec's queue bounds
+        (None when no bound is set, letting server defaults apply)."""
+        if (
+            self.max_queue_depth is None
+            and self.max_batch is None
+            and self.window_s is None
+        ):
+            return None
+        from repro.serve.scheduler import ServeConfig
+
+        kwargs: dict[str, Any] = {}
+        if self.max_queue_depth is not None:
+            kwargs["max_queue_depth"] = self.max_queue_depth
+        if self.max_batch is not None:
+            kwargs["max_batch"] = self.max_batch
+        if self.window_s is not None:
+            kwargs["window_s"] = self.window_s
+        return ServeConfig(**kwargs)
+
+    def build(self, quantized, **opts) -> InferencePipeline:
+        """Shorthand for ``build_pipeline(self, quantized, **opts)``."""
+        return build_pipeline(self, quantized, **opts)
+
+
 def build_pipeline(
-    scheme: str,
+    scheme: "str | PipelineSpec",
     quantized,
     params: "EncryptionParams | None" = None,
     *,
@@ -93,9 +220,12 @@ def build_pipeline(
     """Construct a configured pipeline for ``scheme``.
 
     Args:
-        scheme: canonical name or alias (case-insensitive) from
+        scheme: either a canonical name / alias (case-insensitive) from
             :data:`SCHEME_ALIASES` -- ``plaintext``, ``cryptonets`` /
-            ``encrypted``, ``hybrid`` / ``encryptsgx``, ``simd``, ``deep``.
+            ``encrypted``, ``hybrid`` / ``encryptsgx``, ``simd``, ``deep``
+            -- or a declarative :class:`PipelineSpec`, whose parameters,
+            kernel profile, batching choice and stored ``options`` all
+            apply (explicit ``params`` / ``**opts`` here still win).
         quantized: the integer model (a
             :class:`~repro.nn.quantize.QuantizedCNN`, or a
             :class:`~repro.nn.deep.DeepQuantizedCNN` for ``deep``).
@@ -112,7 +242,20 @@ def build_pipeline(
         PipelineError: unknown scheme, an option the scheme does not take,
             or a model/parameter mismatch surfaced by the pipeline itself.
     """
-    canonical = resolve_scheme(scheme)
+    if isinstance(scheme, PipelineSpec):
+        spec = scheme
+        spec.apply_kernel_profile()
+        canonical = spec.scheme
+        batching = spec.wants_batching()
+        poly_degree = spec.poly_degree
+        if params is None:
+            params = spec.params
+        merged = dict(spec.options)
+        merged.update(opts)
+        opts = merged
+    else:
+        canonical = resolve_scheme(scheme)
+        batching = canonical == "simd"
     allowed = _SCHEME_OPTS[canonical]
     unknown = set(opts) - allowed
     if unknown:
@@ -127,9 +270,7 @@ def build_pipeline(
     if canonical == "plaintext":
         return PlaintextPipeline(quantized, clock=opts.get("clock"))
     if params is None:
-        params = parameters_for_pipeline(
-            quantized, poly_degree, batching=(canonical == "simd")
-        )
+        params = parameters_for_pipeline(quantized, poly_degree, batching=batching)
     if canonical == "cryptonets":
         return CryptonetsPipeline(quantized, params, **opts)
     if canonical == "hybrid":

@@ -11,24 +11,30 @@ and the caller asks for throughput.
 
 This is the API a downstream integrator would embed::
 
-    server = EdgeServer(params, seed=7)
+    server = EdgeServer(params, seed=7, fleet_size=2)
     server.provision_model("digits", quantized)
     session = server.enroll_user(entropy=os.urandom(32), verifier=verifier)
-    response = server.infer("digits", session.encrypt("digits", images))
+    request = InferenceRequest(model="digits", ciphertext=session.encrypt("digits", images))
+    response = server.infer(request)
     predictions = session.decrypt(response)
 
-For throughput, ``server.infer(name, ct, pack=True)`` routes through the
-:class:`~repro.serve.RequestScheduler`, which coalesces concurrent
-single-image requests into one CRT-slot-packed pipeline pass; load
+The canonical request form is one frozen
+:class:`~repro.serve.api.InferenceRequest`; the historical keyword soup
+(``infer(name, ct, pack=..., deadline_ms=...)``) still works behind a
+``DeprecationWarning``.  ``fleet_size > 1`` runs N enclave replicas behind
+one facade (see :class:`~repro.faults.FleetManager`): replica 0 generates
+the HE key pair, the rest join via quote-verified sealed-key migration, and
+packed flushes fail over to a surviving replica on replica loss.  Load
 generators drive the scheduler directly via ``server.scheduler.submit`` /
 ``pump`` / ``drain`` (see ``examples/multi_user_service.py`` for the full
-runnable flow).
+runnable flow), or the event-driven :class:`~repro.serve.ServingLoop`.
 """
 
 from __future__ import annotations
 
 import json
 import struct
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -39,7 +45,7 @@ from repro.core.enclave_service import InferenceEnclave
 from repro.core.keyflow import SgxKeyDistribution, UserClient
 from repro.core.results import InferenceResult, stages_from_trace
 from repro.errors import PipelineError, SealingError, UnknownModelError
-from repro.faults import EnclaveSupervisor, run_with_kernel_degradation
+from repro.faults import EnclaveSupervisor, FleetManager, run_with_kernel_degradation
 from repro.he import serialize as he_serialize
 from repro.he.context import Ciphertext, Context
 from repro.he.decryptor import Decryptor, decrypt_scalar_values
@@ -49,11 +55,14 @@ from repro.he.evaluator import Evaluator, OperationCounter
 from repro.he.params import EncryptionParams
 from repro.nn.quantize import QuantizedCNN
 from repro.obs import metrics
+from repro.serve.api import InferenceRequest
+from repro.serve.api import InferenceResult as _ServeResult
 from repro.sgx.attestation import AttestationVerificationService, QuotingService
 from repro.sgx.enclave import SgxPlatform
 from repro.sgx.sealing import SealedBlob
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pipeline import PipelineSpec
     from repro.serve import RequestScheduler, ServeConfig
 
 
@@ -85,21 +94,10 @@ class UserSession:
         return quantized
 
 
-@dataclass
-class ServedResult:
-    """What the server returns: *encrypted* logits plus timing metadata.
-
-    Requests served through the packing scheduler additionally carry their
-    serving metadata: ``request_id``, the total ``packed_batch`` they shared
-    slots with, and the simulated seconds spent coalescing
-    (``queue_wait_s``).  Direct ``infer`` calls leave these at defaults.
-    """
-
-    logits_ct: Ciphertext
-    timing: InferenceResult
-    request_id: int | None = None
-    packed_batch: int = 0
-    queue_wait_s: float = 0.0
+# The server's result type now lives with the request type in
+# ``repro.serve.api``; ``ServedResult`` stays as a pure alias so every
+# existing constructor call and isinstance check keeps working unchanged.
+ServedResult = _ServeResult
 
 
 def _pack_model_payload(name: str, quantized: QuantizedCNN) -> bytes:
@@ -160,6 +158,10 @@ class EdgeServer:
         seed: reproducible randomness for keygen and encryption.
         serve_config: policy for the packing scheduler (defaults apply when
             omitted); the scheduler itself is created lazily on first use.
+        fleet_size: enclave replicas behind the facade (default 1, the
+            historical single-enclave server).  Replica 0 generates the key
+            pair; the rest join via quote-verified sealed-key migration, so
+            every replica decrypts and refreshes with the same keys.
     """
 
     def __init__(
@@ -168,16 +170,17 @@ class EdgeServer:
         platform: SgxPlatform | None = None,
         seed: int | None = None,
         serve_config: "ServeConfig | None" = None,
+        *,
+        fleet_size: int = 1,
     ) -> None:
         self.params = params
         self.platform = platform if platform is not None else SgxPlatform()
         self.context = Context(params)
-        self.enclave = EnclaveSupervisor(self.platform, InferenceEnclave, params, seed)
-        self.enclave.ecall("generate_keys")
-        self.quoting = QuotingService(self.platform)
-        self._distribution = SgxKeyDistribution(
-            platform=self.platform, enclave=self.enclave, quoting=self.quoting
+        self.fleet = FleetManager(
+            self.platform, InferenceEnclave, params, seed, replicas=fleet_size
         )
+        self.fleet.generate_keys()
+        self.quoting = QuotingService(self.platform)
         self.counter = OperationCounter()
         self.evaluator = Evaluator(self.context, self.counter)
         self.encoder = ScalarEncoder(self.context)
@@ -185,6 +188,37 @@ class EdgeServer:
         self._encoded: dict[str, heops.EncodedModel] = {}
         self._serve_config = serve_config
         self._scheduler: "RequestScheduler | None" = None
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: "PipelineSpec",
+        platform: SgxPlatform | None = None,
+        seed: int | None = None,
+        sizing_model: QuantizedCNN | None = None,
+    ) -> "EdgeServer":
+        """Build a server from a declarative :class:`~repro.core.pipeline.
+        PipelineSpec`: parameters (exact, or auto-sized against
+        ``sizing_model``), kernel profile, fleet size and queue bounds all
+        come from the spec."""
+        spec.apply_kernel_profile()
+        return cls(
+            spec.resolve_params(sizing_model),
+            platform=platform,
+            seed=seed,
+            serve_config=spec.serve_config(),
+            fleet_size=spec.fleet_size,
+        )
+
+    @property
+    def enclave(self) -> EnclaveSupervisor:
+        """The fleet's current key-authority replica.
+
+        A property, not a bound attribute, so that after an authority
+        failover attestation, sealing and key exchange all re-point at the
+        surviving authority automatically.
+        """
+        return self.fleet.authority
 
     # ------------------------------------------------------------------
     # model provisioning
@@ -204,6 +238,7 @@ class EdgeServer:
         self._encoded[name] = heops.encode_model_weights(
             self.evaluator, self.encoder, quantized
         )
+        self.fleet.register_model(name)
         registry = metrics.registry()
         if registry.enabled:
             from repro.he.noise import NoiseEstimator
@@ -259,19 +294,44 @@ class EdgeServer:
     # ------------------------------------------------------------------
     # user enrollment (Fig. 2 key delivery)
     # ------------------------------------------------------------------
+    def descriptor(self) -> dict:
+        """What a connecting client learns about this endpoint before any
+        trust is established: hosted models, the fleet's code identity and
+        topology, and the key generation sessions pin against."""
+        return {
+            "models": self.models(),
+            "mrenclave": self.enclave.measurement.mrenclave,
+            "replicas": self.fleet.live_replicas(),
+            "authority": self.fleet.authority_id,
+            "key_generation": self.fleet.key_generation,
+        }
+
+    def serve_key_exchange(self, user_dh_public):
+        """Server half of the attested DH key exchange (Fig. 2): returns
+        ``(quote, sealed_message)`` for the client to verify and open.
+
+        The exchange is served by the *current* authority replica, built
+        per call so an authority failover between exchanges is transparent.
+        """
+        distribution = SgxKeyDistribution(
+            platform=self.platform, enclave=self.enclave, quoting=self.quoting
+        )
+        return distribution.serve_exchange(user_dh_public)
+
     def enroll_user(
         self, entropy: bytes, verifier: AttestationVerificationService
     ) -> UserSession:
         """Run the attested key exchange for one user and hand back their
         session (the user-side object; in a real deployment this happens on
-        the user's device)."""
+        the user's device -- the :mod:`repro.client` SDK is that device-side
+        flow with an explicit state machine)."""
         client = UserClient(
             params=self.params,
             verifier=verifier,
             expected_mrenclave=self.enclave.measurement.mrenclave,
             entropy=entropy,
         )
-        quote, sealed = self._distribution.serve_exchange(client.begin_exchange())
+        quote, sealed = self.serve_key_exchange(client.begin_exchange())
         keys = client.complete_exchange(quote, sealed)
         context = Context(self.params)
         return UserSession(
@@ -297,47 +357,65 @@ class EdgeServer:
 
     def infer(
         self,
-        model_name: str,
-        ct: Ciphertext,
+        request: "InferenceRequest | str",
+        ct: Ciphertext | None = None,
         *,
-        pack: bool = False,
+        pack: bool | None = None,
         deadline_ms: float | None = None,
     ) -> ServedResult:
         """Run the hybrid pipeline on encrypted pixels; logits stay encrypted.
 
-        Args:
-            model_name: a provisioned model.
-            ct: scalar-encoded ``(B, C, H, W)`` pixel ciphertext from
-                :meth:`UserSession.encrypt`.
-            pack: route through the slot-packing scheduler.  This call stays
-                synchronous (it drains the model's bucket if the submission
-                did not already fill a batch); concurrent callers that
-                submitted earlier ride the same flush and share its HE cost.
-            deadline_ms: coalescing deadline in simulated milliseconds,
-                recorded on the queued request (requires ``pack=True``).
-                Only meaningful to load generators that also call
-                ``scheduler.pump()``; the synchronous facade drains
-                immediately.
+        The canonical form takes one frozen, validated
+        :class:`~repro.serve.api.InferenceRequest`::
 
-        Note:
-            The bare positional form ``infer(name, ct)`` runs the legacy
-            one-request-per-pass path and remains supported for existing
-            callers; new integrations that care about throughput should pass
-            ``pack=True`` or drive :attr:`scheduler` directly.
+            server.infer(InferenceRequest(model="digits", ciphertext=ct))
+            server.infer(InferenceRequest(model="digits", ciphertext=ct,
+                                          pack=True, deadline_ms=5.0))
+
+        ``pack=True`` routes through the slot-packing scheduler; the call
+        stays synchronous (it drains the model's bucket if the submission
+        did not already fill a batch), so concurrent callers that submitted
+        earlier ride the same flush and share its HE cost.  ``deadline_ms``
+        is the packed path's coalescing deadline in simulated milliseconds.
+
+        The historical keyword soup -- ``infer(name, ct, pack=...,
+        deadline_ms=...)`` -- still works but emits a
+        :class:`DeprecationWarning`; it is normalized into the same
+        ``InferenceRequest`` (and therefore the same validation) internally.
         """
-        if deadline_ms is not None and not pack:
-            raise PipelineError("deadline_ms is only meaningful with pack=True")
-        if pack:
-            deadline_s = None if deadline_ms is None else deadline_ms / 1000.0
-            response = self.scheduler.submit(model_name, ct, deadline_s=deadline_s)
+        if isinstance(request, InferenceRequest):
+            if ct is not None or pack is not None or deadline_ms is not None:
+                raise PipelineError(
+                    "infer(InferenceRequest) takes no extra arguments; put "
+                    "the serving policy on the request itself"
+                )
+        else:
+            warnings.warn(
+                "EdgeServer.infer(model_name, ct, pack=..., deadline_ms=...) "
+                "is deprecated; pass a single InferenceRequest instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if deadline_ms is not None and not pack:
+                raise PipelineError("deadline_ms is only meaningful with pack=True")
+            request = InferenceRequest(
+                model=request,
+                ciphertext=ct,
+                pack=bool(pack),
+                deadline_ms=deadline_ms,
+            )
+        if request.pack:
+            response = self.scheduler.submit(
+                request.model, request.ciphertext, deadline_s=request.deadline_s
+            )
             if not response.done():
-                self.scheduler.drain(model_name)
+                self.scheduler.drain(request.model)
             return response.result()
 
         return run_with_kernel_degradation(
             self.platform.tracer,
             "EdgeServer/EncryptSGX",
-            lambda: self._infer_direct(model_name, ct),
+            lambda: self._infer_direct(request.model, request.ciphertext),
         )
 
     def _infer_direct(self, model_name: str, ct: Ciphertext) -> ServedResult:
@@ -385,7 +463,9 @@ class EdgeServer:
             enclave_crossings=trace.crossings,
             trace=trace,
         )
-        return ServedResult(logits_ct=logits_ct, timing=timing)
+        return ServedResult(
+            logits_ct=logits_ct, timing=timing, replica=self.enclave.replica
+        )
 
     def _require_model(self, name: str) -> QuantizedCNN:
         quantized = self._models.get(name)

@@ -142,6 +142,38 @@ class DeadlineEvictedError(ServeError):
     can still make their deadlines."""
 
 
+class ClientError(ReproError, RuntimeError):
+    """Base class for client-SDK session failures (``repro.client``).
+
+    Each transition of the attested-connection state machine (CONNECT ->
+    VERIFY_QUOTE -> SESSION_PINNED -> READY) fails with its own subclass,
+    so callers can distinguish "retry the connection" from "this endpoint
+    is not the enclave you enrolled with".
+    """
+
+
+class ClientStateError(ClientError):
+    """A session method was called out of state-machine order, or after the
+    session reached its terminal FAILED state."""
+
+
+class ClientConnectError(ClientError):
+    """The CONNECT transition failed: the fleet endpoint has no live
+    replicas or hosts no models."""
+
+
+class QuoteVerificationError(ClientError):
+    """The VERIFY_QUOTE transition failed: the endpoint's attestation quote
+    did not verify (wrong code identity, unprovisioned platform, tampered
+    payload binding).  Terminal -- the session refuses all further use."""
+
+
+class SessionPinError(ClientError):
+    """The SESSION_PINNED invariant was violated: on (re)connect the
+    endpoint delivered a key pair whose fingerprint differs from the one
+    this session pinned -- a key-rotated (or impostor) replica.  Terminal."""
+
+
 class RequestFailedError(ServeError):
     """A scheduled request failed during its (packed) flush.
 

@@ -29,6 +29,7 @@ from repro.faults.plan import (
 )
 from repro.faults.recovery import (
     EnclaveSupervisor,
+    FleetManager,
     RetryPolicy,
     run_with_kernel_degradation,
 )
@@ -36,6 +37,7 @@ from repro.faults.recovery import (
 __all__ = [
     "ACTIONS",
     "EnclaveSupervisor",
+    "FleetManager",
     "FaultEvent",
     "FaultPlan",
     "FaultRule",

@@ -46,6 +46,12 @@ Instrumented sites (see DESIGN.md §11 for the recovery semantics):
 ``serve.loop.flush_done``  the serving loop's flush-completion event is lost;
                            the always-armed watchdog re-delivers the finished
                            flush's results (a perturbation -- late, not lost)
+``serve.fleet.replica``    host-level loss of one fleet replica at dispatch
+                           (``name`` = replica id): the replica's enclave is
+                           destroyed mid-flush and the scheduler must fail
+                           the batch over to a surviving replica (a
+                           perturbation -- results unchanged, bit-identical
+                           logits from the survivor)
 ========================== ====================================================
 """
 

@@ -15,6 +15,7 @@ Two front ends over the same packed-flush machinery:
   open-loop traces (Poisson + bursty) that drive it.
 """
 
+from repro.serve.api import InferenceRequest, InferenceResult
 from repro.serve.loop import (
     LoopConfig,
     LoopStats,
@@ -40,6 +41,8 @@ from repro.serve.traffic import (
 __all__ = [
     "PACKED_SCHEME",
     "Arrival",
+    "InferenceRequest",
+    "InferenceResult",
     "LoopConfig",
     "LoopStats",
     "LoopTicket",

@@ -282,6 +282,7 @@ class _Inflight:
     started_at: float
     done_at: float
     images: int
+    replica: int | None = None
     delivered: bool = False
 
 
@@ -314,7 +315,11 @@ class ServingLoop:
         self._events: list[tuple[float, int, str, tuple]] = []
         self._event_seq = 0
         self._queues: dict[str, list[_Admitted]] = {}
-        self._inflight: _Inflight | None = None
+        # One entry per flush in flight, keyed by generation.  With an
+        # enclave fleet, up to one flush per live replica runs concurrently;
+        # without one the dict holds at most a single entry, reproducing the
+        # single-slot loop bit-for-bit.
+        self._inflight: dict[int, _Inflight] = {}
         self._generation = 0
         self._next_request_id = 0
 
@@ -328,6 +333,36 @@ class ServingLoop:
 
     def pending_images(self, model: str) -> int:
         return sum(r.images for r in self._queues.get(model, ()))
+
+    # ------------------------------------------------------------------
+    # fleet awareness
+    # ------------------------------------------------------------------
+    def _fleet(self):
+        return getattr(self.server, "fleet", None)
+
+    def _fleet_size(self) -> int:
+        """Live replicas available for concurrent flushes (1 without a
+        fleet -- the loop then behaves exactly like its single-slot
+        ancestor)."""
+        fleet = self._fleet()
+        return max(1, fleet.size) if fleet is not None else 1
+
+    def _busy_replicas(self) -> set:
+        return {
+            fl.replica for fl in self._inflight.values() if fl.replica is not None
+        }
+
+    def _has_free_replica(self) -> bool:
+        fleet = self._fleet()
+        if fleet is None:
+            return not self._inflight
+        live = fleet.live_replicas()
+        if not live:
+            # Every replica retired: let one flush attempt through so its
+            # requests resolve with typed failures instead of hanging.
+            return not self._inflight
+        busy = self._busy_replicas()
+        return any(rid not in busy for rid in live)
 
     def submit(
         self,
@@ -440,15 +475,28 @@ class ServingLoop:
         when nothing is in flight (the worst case for an empty server).
         This is the admission signal: it tracks *wait*, not depth, so a
         queue of large requests sheds earlier than a queue of singles.
+
+        With a fleet of N replicas, backlog groups drain N at a time and
+        the in-flight remainder only matters when every replica is busy;
+        at fleet size 1 the formula reduces bit-exactly to the single-slot
+        loop's estimate.
         """
-        fl = self._inflight
-        remaining = max(0.0, fl.done_at - self.now_s) if fl is not None else 0.0
+        fleet_size = self._fleet_size()
+        inflight = len(self._inflight)
+        free_n = max(0, fleet_size - inflight)
+        if free_n > 0 or not self._inflight:
+            remaining = 0.0
+        else:
+            remaining = max(
+                0.0,
+                min(fl.done_at for fl in self._inflight.values()) - self.now_s,
+            )
         queued = self.pending_images(model) + images
-        groups_ahead = max(0, math.ceil(queued / self.capacity) - 1)
-        estimate = remaining + groups_ahead * self.config.service_model.flush_s(
-            self.capacity
-        )
-        if fl is None and queued < self.capacity:
+        groups_ahead = max(0, math.ceil(queued / self.capacity) - max(free_n, 1))
+        estimate = remaining + math.ceil(
+            groups_ahead / fleet_size
+        ) * self.config.service_model.flush_s(self.capacity)
+        if not self._inflight and queued < self.capacity:
             estimate += self.config.window_s
         return estimate
 
@@ -554,11 +602,18 @@ class ServingLoop:
         self.stats.peak_queue_depth = max(self.stats.peak_queue_depth, self.queue_depth)
         _m_admitted().labels(model=ticket.model, priority=ticket.priority).inc()
         self._arm_timer(record)
-        if self._inflight is not None and record.slo_deadline_at is not None:
+        if (
+            self._inflight
+            and record.slo_deadline_at is not None
+            and not self._has_free_replica()
+        ):
             # Hopelessness is decidable the moment the request queues behind
-            # an in-flight flush: evict now rather than serve a dead result.
-            self._evict_hopeless(ticket.model, self._inflight.done_at)
-        if self._inflight is None and (
+            # a fully-busy fleet: evict now rather than serve a dead result.
+            self._evict_hopeless(
+                ticket.model,
+                min(fl.done_at for fl in self._inflight.values()),
+            )
+        if self._has_free_replica() and (
             self.pending_images(ticket.model) >= self.capacity
             or record.flush_by <= self.now_s
         ):
@@ -582,15 +637,15 @@ class ServingLoop:
             # Already flushed, evicted, or a storm duplicate: idempotent.
             self.stats.stale_events += 1
             return
-        if self._inflight is not None:
-            # The server is busy; the completion handler flushes overdue
-            # groups the moment it frees up.
+        if not self._has_free_replica():
+            # Every replica is busy; the completion handler flushes overdue
+            # groups the moment one frees up.
             return
         self._start_flush(record.ticket.model)
 
     def _on_watchdog(self, generation: int) -> None:
-        fl = self._inflight
-        if fl is None or fl.generation != generation or fl.delivered:
+        fl = self._inflight.get(generation)
+        if fl is None or fl.delivered:
             self.stats.stale_events += 1
             return
         # The completion event for this flush never arrived (lost to a
@@ -643,8 +698,18 @@ class ServingLoop:
                 )
 
     def _start_flush(self, model: str) -> None:
-        if self._inflight is not None:
-            return
+        fleet = self._fleet()
+        replica: int | None = None
+        if fleet is None:
+            if self._inflight:
+                return
+        else:
+            replica = fleet.route(model, busy=self._busy_replicas())
+            if replica is None and fleet.live_replicas():
+                # Every live replica already has a flush in flight.
+                return
+            if self._inflight and replica is None:
+                return
         selected = self._select_group(model)
         if not selected:
             return
@@ -667,18 +732,30 @@ class ServingLoop:
             r.ticket.queue_wait_s = started_at - r.admitted_at
         # Real HE execution happens here, at flush start, through the
         # scheduler's shared isolation-hardened path; delivery of the
-        # outcomes waits for the (virtual) completion event.
-        outcomes = self.scheduler.run_batch(model, requests, flushed_at=started_at)
+        # outcomes waits for the (virtual) completion event.  The scheduler
+        # may fail the batch over to a survivor mid-flush, so the replica
+        # recorded as busy is the one that actually served it.
+        outcomes = self.scheduler.run_batch(
+            model, requests, flushed_at=started_at, replica=replica
+        )
+        effective = replica
+        for _, outcome in outcomes:
+            if not isinstance(outcome, BaseException):
+                served_on = getattr(outcome, "replica", None)
+                if served_on is not None:
+                    effective = served_on
+                break
         service_s = self.config.service_model.flush_s(images)
         done_at = started_at + service_s
         self._generation += 1
-        self._inflight = _Inflight(
+        self._inflight[self._generation] = _Inflight(
             generation=self._generation,
             model=model,
             outcomes=outcomes,
             started_at=started_at,
             done_at=done_at,
             images=images,
+            replica=effective,
         )
         self.stats.flushes += 1
         self.stats.packed_images += images
@@ -690,9 +767,14 @@ class ServingLoop:
                 "images": images,
                 "requests": len(requests),
                 "occupancy": images / self.capacity,
+                "replica": effective,
             }
         )
-        self._evict_hopeless(model, done_at)
+        if self._has_free_replica():
+            horizon = self.now_s
+        else:
+            horizon = min(fl.done_at for fl in self._inflight.values())
+        self._evict_hopeless(model, horizon)
         lost = faults.poll("serve.loop.flush_done", name=model)
         if lost is not None:
             self.stats.lost_completions += 1
@@ -705,12 +787,11 @@ class ServingLoop:
         )
 
     def _on_flush_done(self, generation: int, *, via_watchdog: bool) -> None:
-        fl = self._inflight
-        if fl is None or fl.generation != generation or fl.delivered:
+        fl = self._inflight.pop(generation, None)
+        if fl is None or fl.delivered:
             self.stats.stale_events += 1
             return
         fl.delivered = True
-        self._inflight = None
         for request, outcome in fl.outcomes:
             ticket: LoopTicket = request.response
             ticket.completed_at_s = self.now_s
@@ -723,18 +804,23 @@ class ServingLoop:
         self._maybe_continue()
 
     def _maybe_continue(self) -> None:
-        """Continuous batching: the instant the server frees up, flush any
+        """Continuous batching: the instant a replica frees up, flush any
         group that is full or overdue -- no fresh window for requests that
-        already waited out theirs."""
-        for model in sorted(self._queues):
-            bucket = self._queues[model]
-            if not bucket:
-                continue
-            if (
-                self.pending_images(model) >= self.capacity
-                or min(r.flush_by for r in bucket) <= self.now_s
-            ):
-                self._start_flush(model)
+        already waited out theirs.  With a fleet, keep starting flushes
+        until every free replica is used or nothing is eligible."""
+        while self._has_free_replica():
+            started = self.stats.flushes
+            for model in sorted(self._queues):
+                bucket = self._queues[model]
+                if not bucket:
+                    continue
+                if (
+                    self.pending_images(model) >= self.capacity
+                    or min(r.flush_by for r in bucket) <= self.now_s
+                ):
+                    self._start_flush(model)
+                    break
+            if self.stats.flushes == started:
                 return
 
     # ------------------------------------------------------------------
@@ -774,6 +860,7 @@ class ServingLoop:
             "images_per_busy_s": (
                 self.stats.packed_images / busy_s if busy_s > 0 else 0.0
             ),
+            "replicas": self._fleet_size(),
             "occupancy_mean": float(np.mean(occupancies)) if occupancies else 0.0,
             "p50_queue_wait_s": float(np.percentile(waits, 50)) if waits else 0.0,
             "p99_queue_wait_s": float(np.percentile(waits, 99)) if waits else 0.0,

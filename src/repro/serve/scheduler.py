@@ -42,11 +42,14 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import faults
 from repro.core import heops
 from repro.core.results import InferenceResult, stages_from_trace
 from repro.errors import (
     BatchTooLargeError,
+    EnclaveNotInitialized,
     QueueFullError,
+    RecoveryExhausted,
     RequestFailedError,
     ResponseNotReady,
     ServeError,
@@ -431,6 +434,7 @@ class RequestScheduler:
         requests: "list[_QueuedRequest]",
         *,
         flushed_at: float | None = None,
+        replica: int | None = None,
     ) -> "list[tuple[_QueuedRequest, ServedResult | BaseException]]":
         """Execute one packed flush over ``requests`` and account for it.
 
@@ -444,26 +448,84 @@ class RequestScheduler:
         :class:`~repro.errors.RequestFailedError` to fail it with; the
         caller decides when to deliver them.
 
+        When the server runs an enclave fleet, the flush executes on one
+        replica (``replica``, or the fleet's least-loaded pick).  Replica
+        *loss* -- an unrecoverable :class:`~repro.errors.RecoveryExhausted`
+        or a destroyed handle's :class:`~repro.errors.EnclaveNotInitialized`
+        -- retires the replica and **fails the whole batch over** to a
+        surviving replica; because every replica restored the same sealed
+        key pair, the survivor's logits are bit-identical.  Only when no
+        survivor remains does the flush fall back to per-request isolation.
+
         Args:
             flushed_at: timestamp (in the caller's timing currency) that
                 queue waits are measured against; defaults to the simulated
                 clock, which is what the synchronous scheduler path wants.
+            replica: fleet replica to execute on (the serving loop routes
+                explicitly; None lets the fleet pick least-loaded).
         """
         tracer = self.server.platform.tracer
         clock = self.server.platform.clock
+        fleet = getattr(self.server, "fleet", None)
+        if fleet is not None and replica is None:
+            replica = fleet.route(model_name)
         flush_start = clock.now_s
-        try:
-            results = run_with_kernel_degradation(
-                tracer,
-                PACKED_SCHEME,
-                lambda: self._run_packed(model_name, requests, flushed_at=flushed_at),
-            )
-        except Exception as exc:  # noqa: BLE001 - isolation boundary
-            return self._isolate(model_name, requests, exc, flushed_at=flushed_at)
+        images = sum(r.batch for r in requests)
+        tried: list[int] = []
+        while True:
+            if fleet is not None and replica is not None:
+                event = faults.poll(
+                    "serve.fleet.replica", name=str(replica), model=model_name
+                )
+                if event is not None:
+                    # Host-level replica loss at dispatch: the flush is
+                    # already committed to this replica, so its first
+                    # enclave crossing below dies and must fail over.
+                    fleet.kill_replica(replica)
+                fleet.note_dispatch(replica, model_name, images)
+            try:
+                results = run_with_kernel_degradation(
+                    tracer,
+                    PACKED_SCHEME,
+                    lambda: self._run_packed(
+                        model_name, requests, flushed_at=flushed_at, replica=replica
+                    ),
+                )
+                break
+            except (EnclaveNotInitialized, RecoveryExhausted) as exc:
+                survivor = None
+                if fleet is not None and replica is not None:
+                    survivor = fleet.route(model_name, exclude=(*tried, replica))
+                if survivor is None:
+                    return self._isolate(
+                        model_name, requests, exc,
+                        flushed_at=flushed_at, replica=replica,
+                    )
+                fleet.retire(replica, exc)
+                tried.append(replica)
+                with tracer.span(
+                    "recovery/replica_failover",
+                    kind="span",
+                    model=model_name,
+                    from_replica=replica,
+                    to_replica=survivor,
+                    requests=len(requests),
+                    error=str(exc),
+                ):
+                    metrics.registry().counter(
+                        "repro_fleet_failovers_total",
+                        "Packed flushes re-dispatched to a surviving replica "
+                        "after replica loss.",
+                        ("model",),
+                    ).labels(model=model_name).inc()
+                replica = survivor
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                return self._isolate(
+                    model_name, requests, exc, flushed_at=flushed_at, replica=replica
+                )
         compute_s = clock.now_s - flush_start
         self.stats.flushes += 1
         self.stats.served += len(requests)
-        images = sum(r.batch for r in requests)
         self.stats.packed_images += images
         latency = _m_latency()
         for served in results:
@@ -479,6 +541,7 @@ class RequestScheduler:
         exc: BaseException,
         *,
         flushed_at: float | None = None,
+        replica: int | None = None,
     ) -> "list[tuple[_QueuedRequest, ServedResult | BaseException]]":
         """Recover from a dead packed flush by re-running each request as
         its own single-request pass; requests that still fail map to a typed
@@ -510,7 +573,8 @@ class RequestScheduler:
                     rerun_start = clock.now_s
                     try:
                         served = self._run_packed(
-                            model_name, [request], flushed_at=flushed_at
+                            model_name, [request], flushed_at=flushed_at,
+                            replica=replica,
                         )[0]
                         outcomes.append((request, served))
                         self.stats.isolated_requests += 1
@@ -544,6 +608,7 @@ class RequestScheduler:
         requests: list[_QueuedRequest],
         *,
         flushed_at: float | None = None,
+        replica: int | None = None,
     ) -> "list[ServedResult]":
         """One slot-packed pipeline pass; returns one result per request.
 
@@ -555,6 +620,11 @@ class RequestScheduler:
         waits come out in the loop's deterministic virtual currency, while
         the default (the simulated clock) keeps the synchronous scheduler
         path bit-identical to its historical behavior.
+
+        ``replica`` selects which fleet replica's supervised enclave runs
+        the enclave stages (the fleet authority when None); every replica
+        holds the same migrated key pair, so the choice never changes the
+        decrypted logits.
         """
         from repro.core.server import ServedResult
 
@@ -563,7 +633,11 @@ class RequestScheduler:
         encoded = server.encoded_model(model_name)
         tracer = server.platform.tracer
         clock = server.platform.clock
-        enclave = server.enclave
+        fleet = getattr(server, "fleet", None)
+        if fleet is not None:
+            enclave = fleet.replica(replica)
+        else:
+            enclave = server.enclave
         total = sum(r.batch for r in requests)
         # Requests share the enclave's key pair, so their ciphertexts stack
         # into one scalar-encoded (total, C, H, W) batch for free.
@@ -589,6 +663,7 @@ class RequestScheduler:
             requests=len(requests),
             batch=total,
             slot_count=self.slot_count,
+            replica=getattr(enclave, "replica", None),
         ) as trace:
             with stage("pack"):
                 # Host side: fold the B stacked requests into polynomial
@@ -645,6 +720,7 @@ class RequestScheduler:
                     request_id=r.request_id,
                     packed_batch=total,
                     queue_wait_s=flushed_at - r.enqueued_at,
+                    replica=getattr(enclave, "replica", None),
                 )
             )
             offset += r.batch

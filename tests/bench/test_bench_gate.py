@@ -52,12 +52,37 @@ def _slo_report(ratio=1.05, p99_bounded=True, shed_bounded=True):
     }
 
 
-def _write_pair(directory: Path, hotpath: dict, serving: dict, slo: dict | None = None) -> None:
+def _fleet_report(ratio_4x=3.5, bit_identical=True):
+    return {
+        "config": {"mode": "smoke"},
+        "fleets": {
+            "4": {"images_per_s": 900.0 * ratio_4x / 3.5, "p99_queue_wait_s": 0.05},
+        },
+        "scaling": {"ratio_2x": 1.9, "ratio_4x": ratio_4x},
+        "invariants": {
+            "bit_identical": bit_identical,
+            "all_tickets_resolved": True,
+            "failover_resolved": True,
+            "failover_bit_identical": bit_identical,
+        },
+    }
+
+
+def _write_pair(
+    directory: Path,
+    hotpath: dict,
+    serving: dict,
+    slo: dict | None = None,
+    fleet: dict | None = None,
+) -> None:
     directory.mkdir(parents=True, exist_ok=True)
     (directory / "BENCH_hotpath.json").write_text(json.dumps(hotpath))
     (directory / "BENCH_serving.json").write_text(json.dumps(serving))
     (directory / "BENCH_slo.json").write_text(
         json.dumps(slo if slo is not None else _slo_report())
+    )
+    (directory / "BENCH_fleet.json").write_text(
+        json.dumps(fleet if fleet is not None else _fleet_report())
     )
 
 
@@ -140,7 +165,7 @@ class TestBenchGate:
         _gate(tmp_path / "base", tmp_path / "cur", "--report", str(report))
         doc = json.loads(report.read_text())
         assert doc["ok"] is True
-        assert set(doc["benches"]) == {"hotpath", "serving", "slo"}
+        assert set(doc["benches"]) == {"hotpath", "serving", "slo", "fleet"}
 
     def test_slo_invariant_violation_fails(self, tmp_path):
         _write_pair(tmp_path / "base", _hotpath_report(), _serving_report())
@@ -151,6 +176,29 @@ class TestBenchGate:
         proc = _gate(tmp_path / "base", tmp_path / "cur")
         assert proc.returncode == 1
         assert "slo.p99_bounded" in proc.stdout
+
+    def test_fleet_invariant_violation_fails(self, tmp_path):
+        _write_pair(tmp_path / "base", _hotpath_report(), _serving_report())
+        _write_pair(
+            tmp_path / "cur", _hotpath_report(), _serving_report(),
+            fleet=_fleet_report(bit_identical=False),
+        )
+        proc = _gate(tmp_path / "base", tmp_path / "cur")
+        assert proc.returncode == 1
+        assert "invariants.bit_identical" in proc.stdout
+
+    def test_fleet_scaling_regression_fails(self, tmp_path):
+        _write_pair(
+            tmp_path / "base", _hotpath_report(), _serving_report(),
+            fleet=_fleet_report(ratio_4x=3.5),
+        )
+        _write_pair(
+            tmp_path / "cur", _hotpath_report(), _serving_report(),
+            fleet=_fleet_report(ratio_4x=1.0),
+        )
+        proc = _gate(tmp_path / "base", tmp_path / "cur")
+        assert proc.returncode == 1
+        assert "scaling.ratio_4x" in proc.stdout
 
     def test_bench_selection_scopes_the_gate(self, tmp_path):
         """--bench gates only the named benches: a broken slo report is

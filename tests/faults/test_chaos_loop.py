@@ -57,7 +57,7 @@ class TestKilledFlushMidLoop:
         with faults.armed(plan):
             loop.run()
         assert all(t.done() for t in tickets)
-        assert loop.queue_depth == 0 and loop._inflight is None
+        assert loop.queue_depth == 0 and not loop._inflight
         assert isinstance(tickets[0].error, RequestFailedError)
         assert isinstance(tickets[0].error.__cause__, NoiseBudgetExhausted)
         assert loop.stats.failed == 1 and loop.stats.served == 2

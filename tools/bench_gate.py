@@ -33,6 +33,8 @@ Refreshing baselines (after an intentional performance change)::
         --out benchmarks/baselines/BENCH_serving.json
     python benchmarks/bench_serving_slo.py --smoke --min-speedup 1.0 \
         --out benchmarks/baselines/BENCH_slo.json
+    python benchmarks/bench_fleet_scaling.py --smoke --min-speedup 1.0 \
+        --out benchmarks/baselines/BENCH_fleet.json
 """
 
 from __future__ import annotations
@@ -97,6 +99,20 @@ BENCHES: dict[str, dict] = {
             MetricSpec("slo.shed_rate_bounded", "invariant"),
             MetricSpec("slo.all_tickets_resolved", "invariant"),
             MetricSpec("bit_identical.logits", "invariant"),
+        ),
+    },
+    "fleet": {
+        "file": "BENCH_fleet.json",
+        "script": "benchmarks/bench_fleet_scaling.py",
+        "metrics": (
+            MetricSpec("scaling.ratio_2x", "ratio"),
+            MetricSpec("scaling.ratio_4x", "ratio"),
+            MetricSpec("fleets.4.images_per_s", "ratio"),
+            MetricSpec("fleets.4.p99_queue_wait_s", "timing"),
+            MetricSpec("invariants.bit_identical", "invariant"),
+            MetricSpec("invariants.all_tickets_resolved", "invariant"),
+            MetricSpec("invariants.failover_resolved", "invariant"),
+            MetricSpec("invariants.failover_bit_identical", "invariant"),
         ),
     },
 }
