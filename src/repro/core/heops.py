@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import PipelineError
-from repro.he import kernels
+from repro.he import kernels, parallel
 from repro.he.context import Ciphertext
 from repro.he.encoders import ScalarEncoder
 from repro.he.evaluator import Evaluator, PlainOperand
@@ -298,6 +298,30 @@ def _he_conv2d_fused(
     p_max = int(ring.primes.max())
     wtaps = weights.weight_taps
     scalar_path = wtaps is not None and _scalar_tap_bound_ok(wtaps, t, p_max)
+    if scalar_path:
+        # Multicore path: the scalar contraction's work units (batch rows,
+        # or conv output rows for a packed B == 1 flush) dispatch to the
+        # shared-memory pool; byte-identical to the in-process loop below
+        # (exact int64 adds, same chunk order per element).  None means no
+        # pool (workers <= 1) or nothing to split -- fall through.
+        pooled = parallel.dispatch_conv(
+            data,
+            wtaps,
+            k=k,
+            s=s,
+            oh=oh,
+            ow=ow,
+            primes=[int(p) for p in ring.primes],
+            chunk=chunk,
+        )
+        if pooled is not None:
+            if evaluator.counter is not None:
+                lanes = b * oh * ow
+                evaluator.counter.record("ct_plain_mul", f * t * lanes)
+                if t > 1:
+                    evaluator.counter.record("ct_add", f * (t - 1) * lanes)
+            out = Ciphertext(ct.context, pooled, is_ntt=True)
+            return evaluator.add_plain_operand(out, weights.bias_operand)
     acc = np.zeros((f, b, oh, ow, *tail), dtype=np.int64)
     for start in range(0, t, chunk):
         block = tap_index[start : start + chunk]
@@ -416,6 +440,17 @@ def _he_dense_fused(
     o = weights.out_features
     wmat = weights.weight_matrix
     if wmat is not None and _scalar_tap_bound_ok(wmat, d, int(ring.primes.max())):
+        # Multicore path: batch rows (or output classes for B == 1) as
+        # shared-memory pool units, byte-identical to the matmul below.
+        pooled = parallel.dispatch_dense(
+            flat.data, wmat, primes=[int(p) for p in ring.primes]
+        )
+        if pooled is not None:
+            if evaluator.counter is not None:
+                evaluator.counter.record("ct_plain_mul", o * b * d)
+                evaluator.counter.record("ct_add", o * (d - 1) * b)
+            out = Ciphertext(flat.context, pooled, is_ntt=True)
+            return evaluator.add_plain_operand(out, weights.bias_operand)
         fd = flat.data  # (B, D, size, k_rns, n)
         moved = np.ascontiguousarray(np.moveaxis(fd, 1, 0)).reshape(d, -1)
         summed = (wmat @ moved).reshape(o, b, *fd.shape[2:])

@@ -111,6 +111,11 @@ class PipelineSpec:
         kernel_profile: ``"fused"`` or ``"reference"`` to install that
             hot-path profile at build time; None leaves the process profile
             untouched.
+        workers: flush-execution worker processes to install process-wide
+            at build time (``repro.he.parallel``); ``1`` forces the
+            in-process path, ``None`` leaves the active setting (the
+            ``REPRO_WORKERS`` environment default) untouched.  Results are
+            byte-identical at any width.
         fleet_size: enclave replicas for ``EdgeServer.from_spec`` (>= 1).
         max_queue_depth / max_batch / window_s: scheduler queue bounds; any
             set value flows into the server's
@@ -125,6 +130,7 @@ class PipelineSpec:
     poly_degree: int = 1024
     batching: bool | None = None
     kernel_profile: str | None = None
+    workers: int | None = None
     fleet_size: int = 1
     max_queue_depth: int | None = None
     max_batch: int | None = None
@@ -140,6 +146,8 @@ class PipelineSpec:
                 f"kernel_profile must be one of {KERNEL_PROFILES}, "
                 f"got {self.kernel_profile!r}"
             )
+        if self.workers is not None and self.workers < 1:
+            raise PipelineError("workers must be >= 1 (or None to inherit)")
         if self.fleet_size < 1:
             raise PipelineError("fleet_size must be >= 1")
         if self.max_queue_depth is not None and self.max_queue_depth < 1:
@@ -183,6 +191,14 @@ class PipelineSpec:
         kernels.configure(
             kernels.FUSED if self.kernel_profile == "fused" else kernels.REFERENCE
         )
+
+    def apply_workers(self) -> None:
+        """Install the spec's worker count process-wide (no-op when None)."""
+        if self.workers is None:
+            return
+        from repro.he import parallel
+
+        parallel.configure(self.workers)
 
     def serve_config(self) -> "ServeConfig | None":
         """A :class:`~repro.serve.ServeConfig` from the spec's queue bounds
@@ -245,6 +261,7 @@ def build_pipeline(
     if isinstance(scheme, PipelineSpec):
         spec = scheme
         spec.apply_kernel_profile()
+        spec.apply_workers()
         canonical = spec.scheme
         batching = spec.wants_batching()
         poly_degree = spec.poly_degree

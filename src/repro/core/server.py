@@ -199,9 +199,10 @@ class EdgeServer:
     ) -> "EdgeServer":
         """Build a server from a declarative :class:`~repro.core.pipeline.
         PipelineSpec`: parameters (exact, or auto-sized against
-        ``sizing_model``), kernel profile, fleet size and queue bounds all
-        come from the spec."""
+        ``sizing_model``), kernel profile, flush worker count, fleet size
+        and queue bounds all come from the spec."""
         spec.apply_kernel_profile()
+        spec.apply_workers()
         return cls(
             spec.resolve_params(sizing_model),
             platform=platform,

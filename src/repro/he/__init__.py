@@ -22,6 +22,7 @@ Typical usage::
     assert encoder.decode(decryptor.decrypt(ct2)) == 42
 """
 
+from repro.he.arena import Arena, ArenaView, stacked_view
 from repro.he.batching import BatchEncoder
 from repro.he.context import Ciphertext, Context, Plaintext
 from repro.he.decryptor import Decryptor, decrypt_scalar_values
@@ -37,6 +38,7 @@ from repro.he.kernels import (
 )
 from repro.he.keys import KeyGenerator, KeyPair, PublicKey, RelinKeys, SecretKey
 from repro.he.noise import NoiseEstimator
+from repro.he.parallel import WorkerPool, active_workers, default_workers
 from repro.he.params import (
     EncryptionParams,
     default_parameter_options,
@@ -46,6 +48,8 @@ from repro.he.params import (
 )
 
 __all__ = [
+    "Arena",
+    "ArenaView",
     "BatchEncoder",
     "Ciphertext",
     "Context",
@@ -69,8 +73,12 @@ __all__ = [
     "ScalarEncoder",
     "SecretKey",
     "SymmetricEncryptor",
+    "WorkerPool",
+    "active_workers",
     "decrypt_scalar_values",
     "default_parameter_options",
+    "default_workers",
+    "stacked_view",
     "functional_parameters",
     "fused_kernels",
     "paper_parameters",

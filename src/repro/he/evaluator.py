@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import KeyMismatchError, ParameterError
-from repro.he import kernels
+from repro.he import arena, kernels
 from repro.he.context import Ciphertext, Context, Plaintext
 from repro.he.keys import RelinKeys
 
@@ -172,9 +172,14 @@ class Evaluator:
         if uniform and kernels.active().fused_layers:
             # One stacked reduction (and one trailing %) instead of a
             # sequential O(len) fold of add() allocations; the op tally
-            # matches the fold exactly.
+            # matches the fold exactly.  Arena-backed siblings (adjacent
+            # blocks, or slices of one staged batch) stack as a strided
+            # view -- no materialized intermediate at all.
             self._check(*cts)
-            stacked = np.stack([ct.to_ntt().data for ct in cts])
+            parts = [ct.to_ntt().data for ct in cts]
+            stacked = arena.stacked_view(parts)
+            if stacked is None:
+                stacked = np.stack(parts)
             result = Ciphertext(
                 self.context, self.context.ring.reduce_sum(stacked, axis=0), is_ntt=True
             )

@@ -1,0 +1,601 @@
+"""Multicore flush execution: a worker pool over the shared ciphertext arena.
+
+Everything below PR 3's FUSED kernels is one Python process; this module
+dispatches the kernels' embarrassingly-parallel halves -- the signed-int64
+matmul contractions of the fused conv and dense layers -- to a pool of
+forked worker processes over a shared-memory :class:`~repro.he.arena.Arena`.
+
+**Determinism contract.**  Work units are contiguous index ranges over one
+axis of the output (batch rows when the batch is stacked, conv output rows
+or FC classes for a slot-packed ``B == 1`` flush).  Each unit's arithmetic
+is the *same* exact int64 chunk-ordered contraction the in-process kernel
+runs for those indices -- integer adds are associative and every partial is
+bounds-checked against int64 by the caller -- so the assembled output is
+byte-identical to the single-process path regardless of worker count,
+scheduling, or completion order.  Workers write results straight into
+disjoint slices of the shared output block; assembly is positional, never
+order-of-arrival.
+
+**Worker death.**  The ``parallel.worker`` fault site (``name`` = worker
+id) SIGKILLs a worker at dispatch.  Recovery retires the *whole* pool --
+a killed worker can die holding a queue lock, and a surviving writer from
+a torn-down generation must never touch a reused arena -- then replays
+every unacknowledged unit in-process through the identical unit executor
+(bit-identical by the contract above) and respawns fresh workers for the
+next flush.
+
+**Configuration.**  ``configure(workers)`` / ``use(workers)`` mirror
+``repro.he.kernels``; ``REPRO_WORKERS`` is the environment default and
+``PipelineSpec(workers=...)`` / ``build_pipeline(...)`` route here.  With
+``workers <= 1`` no pool exists and every kernel runs its original
+in-process path -- the graceful fallback, and the authoritative
+implementation the pool is verified against.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import signal
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro import faults
+from repro.errors import ParallelError
+from repro.he.arena import Arena
+from repro.obs import metrics
+
+#: Fault site consulted once per dispatched unit (``name`` = preferred
+#: worker id); a fire SIGKILLs that worker mid-flush.
+FAULT_SITE = "parallel.worker"
+
+#: Contiguous units carved per worker per flush (2 gives the shared queue
+#: room to balance without shrinking units into IPC noise).
+UNITS_PER_WORKER = 2
+
+#: Hard ceiling on one flush's collection phase in real seconds.
+RUN_TIMEOUT_S = 120.0
+
+_ENV_WORKERS = "REPRO_WORKERS"
+
+
+# ----------------------------------------------------------------------
+# pool metrics (repro.obs registry families)
+# ----------------------------------------------------------------------
+def _m_units():
+    return metrics.registry().counter(
+        "repro_parallel_units_total",
+        "Work units dispatched to the shared-memory worker pool.",
+        ("kind",),
+    )
+
+
+def _m_steals():
+    return metrics.registry().counter(
+        "repro_parallel_steals_total",
+        "Units completed by a worker other than the dispatch-preferred one.",
+    )
+
+
+def _m_deaths():
+    return metrics.registry().counter(
+        "repro_parallel_worker_deaths_total",
+        "Workers found dead mid-flush (pool retired and respawned).",
+    )
+
+
+def _m_replayed():
+    return metrics.registry().counter(
+        "repro_parallel_replayed_units_total",
+        "Units replayed in-process after a worker death (bit-identical).",
+    )
+
+
+def _m_unit_latency():
+    return metrics.registry().histogram(
+        "repro_parallel_unit_seconds",
+        "Per-unit real execution latency inside pool workers.",
+        ("kind",),
+        buckets=metrics.LATENCY_BUCKETS,
+    )
+
+
+def _m_busy():
+    return metrics.registry().counter(
+        "repro_parallel_worker_busy_seconds_total",
+        "Real seconds each worker spent executing units (utilization "
+        "numerator; flush wall time is the denominator).",
+        ("worker",),
+    )
+
+
+def _m_workers():
+    return metrics.registry().gauge(
+        "repro_parallel_workers",
+        "Configured worker count (1 = in-process fallback).",
+    )
+
+
+# ----------------------------------------------------------------------
+# configuration (mirrors repro.he.kernels)
+# ----------------------------------------------------------------------
+_configured: int | None = None
+_pool: "WorkerPool | None" = None
+
+
+def default_workers() -> int:
+    """The ``REPRO_WORKERS`` environment default (1 when unset/garbage)."""
+    raw = os.environ.get(_ENV_WORKERS, "").strip()
+    try:
+        return max(1, int(raw)) if raw else 1
+    except ValueError:
+        return 1
+
+
+def active_workers() -> int:
+    """The effective worker count (configured, else the env default)."""
+    return _configured if _configured is not None else default_workers()
+
+
+def configure(workers: int | None) -> int | None:
+    """Install a process-wide worker count; returns the previous setting.
+
+    ``None`` reverts to the ``REPRO_WORKERS`` environment default.  A
+    change tears down any live pool so the next dispatch builds one at the
+    new width.
+    """
+    global _configured
+    if workers is not None and workers < 1:
+        raise ParallelError(f"workers must be >= 1, got {workers}")
+    previous = _configured
+    before = active_workers()
+    _configured = workers
+    if active_workers() != before:
+        shutdown()
+    _m_workers().set(active_workers())
+    return previous
+
+
+@contextmanager
+def use(workers: int | None):
+    """Scoped :func:`configure`; restores the previous setting on exit."""
+    previous = configure(workers)
+    try:
+        yield
+    finally:
+        configure(previous)
+
+
+def shutdown() -> None:
+    """Tear down the live pool (tests, config changes, interpreter exit)."""
+    global _pool
+    if _pool is not None:
+        pool, _pool = _pool, None
+        pool.close()
+
+
+atexit.register(shutdown)
+
+
+def active_pool() -> "WorkerPool | None":
+    """The lazily-built pool for the active worker count (None when <= 1:
+    the in-process fallback stays authoritative)."""
+    global _pool
+    workers = active_workers()
+    if workers <= 1:
+        return None
+    if _pool is None or _pool.workers != workers:
+        shutdown()
+        _pool = WorkerPool(workers)
+    return _pool
+
+
+# ----------------------------------------------------------------------
+# unit executors (shared verbatim by workers and in-process replay)
+# ----------------------------------------------------------------------
+def _conv_unit(task: dict, buf: np.ndarray) -> None:
+    """One conv work unit: the fused scalar tap contraction for a row range.
+
+    Identical chunk-ordered arithmetic to ``heops._he_conv2d_fused``'s
+    scalar path, restricted to ``rows`` of the split axis; exact int64
+    adds are associative, so any row split is byte-identical to the full
+    contraction.
+    """
+    in_off, in_shape = task["in_off"], task["in_shape"]
+    w_off, w_shape = task["w_off"], task["w_shape"]
+    out_off, out_shape = task["out_off"], task["out_shape"]
+    data = buf[in_off : in_off + _size(in_shape)].reshape(in_shape)
+    wtaps = buf[w_off : w_off + _size(w_shape)].reshape(w_shape)
+    out = buf[out_off : out_off + _size(out_shape)].reshape(out_shape)
+    k, s, oh, ow = task["k"], task["s"], task["oh"], task["ow"]
+    chunk, primes = task["chunk"], task["primes"]
+    r0, r1 = task["rows"]
+    if task["axis"] == "batch":
+        data = data[r0:r1]
+        oh0, oh1 = 0, oh
+    else:  # conv output rows (the slot-packed B == 1 flush)
+        oh0, oh1 = r0, r1
+    b, c = data.shape[0], data.shape[1]
+    tail = data.shape[-3:]
+    f, t = wtaps.shape
+    tap_index = [(ci, i, j) for ci in range(c) for i in range(k) for j in range(k)]
+    acc = np.zeros((f, b, oh1 - oh0, ow, *tail), dtype=np.int64)
+    for start in range(0, t, chunk):
+        block = tap_index[start : start + chunk]
+        win = np.empty((len(block), *acc.shape[1:]), dtype=np.int64)
+        for off, (ci, i, j) in enumerate(block):
+            win[off] = data[:, ci, i : i + oh * s : s, j : j + ow * s : s][:, oh0:oh1]
+        acc += (
+            wtaps[:, start : start + chunk] @ win.reshape(len(block), -1)
+        ).reshape(acc.shape)
+    for idx, p in enumerate(primes):
+        acc[..., idx, :] %= p
+    if task["axis"] == "batch":
+        out[r0:r1] = np.moveaxis(acc, 0, 1)
+    else:
+        out[:, :, r0:r1] = np.moveaxis(acc, 0, 1)
+
+
+def _dense_unit(task: dict, buf: np.ndarray) -> None:
+    """One dense work unit: the all-classes FC matmul for a row range
+    (batch rows, or output classes when the packed batch is 1)."""
+    in_off, in_shape = task["in_off"], task["in_shape"]
+    w_off, w_shape = task["w_off"], task["w_shape"]
+    out_off, out_shape = task["out_off"], task["out_shape"]
+    fd = buf[in_off : in_off + _size(in_shape)].reshape(in_shape)
+    wmat = buf[w_off : w_off + _size(w_shape)].reshape(w_shape)
+    out = buf[out_off : out_off + _size(out_shape)].reshape(out_shape)
+    primes = task["primes"]
+    r0, r1 = task["rows"]
+    d = fd.shape[1]
+    if task["axis"] == "batch":
+        fd = fd[r0:r1]
+        wmat_rows = wmat
+    else:  # output classes
+        wmat_rows = wmat[r0:r1]
+    b = fd.shape[0]
+    moved = np.ascontiguousarray(np.moveaxis(fd, 1, 0)).reshape(d, -1)
+    summed = (wmat_rows @ moved).reshape(wmat_rows.shape[0], b, *fd.shape[2:])
+    for idx, p in enumerate(primes):
+        summed[..., idx, :] %= p
+    if task["axis"] == "batch":
+        out[r0:r1] = np.moveaxis(summed, 0, 1)
+    else:
+        out[:, r0:r1] = np.moveaxis(summed, 0, 1)
+
+
+_EXECUTORS = {"conv": _conv_unit, "dense": _dense_unit}
+
+
+def _size(shape: tuple[int, ...]) -> int:
+    return int(np.prod(shape, dtype=np.int64)) if shape else 1
+
+
+def _execute_unit(task: dict, buf: np.ndarray) -> None:
+    _EXECUTORS[task["kind"]](task, buf)
+
+
+def _worker_main(worker_id: int, tasks, results) -> None:  # pragma: no cover
+    """Worker loop: attach the named segment lazily, execute, ack.
+
+    Runs in forked children; covered by the integration suite, not by
+    in-process coverage.  Generation teardown SIGTERMs workers; exiting via
+    ``os._exit`` skips interpreter shutdown so the attached segments (whose
+    lifetime the parent owns) never trip ``SharedMemory.__del__``.
+    """
+    signal.signal(signal.SIGTERM, lambda signum, frame: os._exit(0))
+    attached: dict[str, tuple] = {}
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        started = time.perf_counter()
+        _execute_unit(task, _attach_buffer(task["shm"], attached))
+        results.put((worker_id, task["unit"], time.perf_counter() - started))
+    while attached:
+        shm, arr = attached.popitem()[1]
+        del arr  # drop the frombuffer export before closing the mapping
+        try:
+            shm.close()
+        except BufferError:
+            pass
+    os._exit(0)
+
+
+def _attach_buffer(name: str, cache: dict) -> np.ndarray:  # pragma: no cover
+    if name not in cache:
+        from multiprocessing import shared_memory
+
+        # The parent owns the segment's lifetime (its unlink clears the
+        # resource tracker entry); the child only maps it.
+        shm = shared_memory.SharedMemory(name=name)
+        cache[name] = (shm, np.frombuffer(shm.buf, dtype=np.int64))
+    return cache[name][1]
+
+
+def _unit_ranges(length: int, units: int) -> list[tuple[int, int]]:
+    """Deterministic contiguous split of ``range(length)`` into ``units``."""
+    units = max(1, min(length, units))
+    bounds = np.linspace(0, length, units + 1, dtype=np.int64)
+    return [(int(a), int(b)) for a, b in zip(bounds, bounds[1:]) if b > a]
+
+
+class WorkerPool:
+    """Forked process pool executing kernel units over a shared arena."""
+
+    def __init__(self, workers: int, *, capacity_words: int = 1 << 18) -> None:
+        if workers < 2:
+            raise ParallelError("WorkerPool needs >= 2 workers; use the "
+                                "in-process fallback below that")
+        import multiprocessing as mp
+
+        self.workers = workers
+        self._mp = mp.get_context("fork")
+        self.arena = Arena(capacity_words, shared=True, auto_grow=True)
+        self._procs: dict[int, object] = {}
+        self._tasks = None
+        self._results = None
+        self._unit_seq = 0
+        self.deaths = 0
+        self.replayed_units = 0
+        self.dispatched_units = 0
+        self.stolen_units = 0
+        self._spawn_all()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _spawn_all(self) -> None:
+        self._tasks = self._mp.SimpleQueue()
+        self._results = self._mp.SimpleQueue()
+        self._procs = {}
+        for wid in range(self.workers):
+            proc = self._mp.Process(
+                target=_worker_main,
+                args=(wid, self._tasks, self._results),
+                daemon=True,
+                name=f"repro-parallel-{wid}",
+            )
+            proc.start()
+            self._procs[wid] = proc
+
+    def _teardown_procs(self) -> None:
+        for proc in self._procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs.values():
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck terminate
+                proc.kill()
+                proc.join(timeout=2.0)
+        self._procs = {}
+        for queue in (self._tasks, self._results):
+            if queue is not None:
+                queue.close()
+        self._tasks = self._results = None
+
+    def close(self) -> None:
+        if self._tasks is not None:
+            try:
+                for _ in self._procs:
+                    self._tasks.put(None)
+            except Exception:  # pragma: no cover - broken pipe after a kill
+                pass
+        self._teardown_procs()
+        self.arena.close()
+
+    # ------------------------------------------------------------------
+    # kernel entry points
+    # ------------------------------------------------------------------
+    def run_conv(
+        self,
+        data: np.ndarray,
+        wtaps: np.ndarray,
+        *,
+        k: int,
+        s: int,
+        oh: int,
+        ow: int,
+        primes: list[int],
+        chunk: int,
+    ) -> np.ndarray | None:
+        """Fused scalar conv over the pool; returns ``(B, F, OH, OW, *tail)``
+        or None when there is nothing to split (single row on both axes)."""
+        b = data.shape[0]
+        axis, length = ("batch", b) if b > 1 else ("rows", oh)
+        if length < 2:
+            return None
+        f = wtaps.shape[0]
+        out_shape = (b, f, oh, ow, *data.shape[-3:])
+        common = {"k": k, "s": s, "oh": oh, "ow": ow, "chunk": chunk}
+        return self._run_kernel("conv", data, wtaps, out_shape, axis, length, common, primes)
+
+    def run_dense(
+        self, fd: np.ndarray, wmat: np.ndarray, *, primes: list[int]
+    ) -> np.ndarray | None:
+        """Fused scalar dense over the pool; returns ``(B, O, *tail)`` or
+        None when there is nothing to split."""
+        b, o = fd.shape[0], wmat.shape[0]
+        axis, length = ("batch", b) if b > 1 else ("classes", o)
+        if length < 2:
+            return None
+        out_shape = (b, o, *fd.shape[2:])
+        return self._run_kernel("dense", fd, wmat, out_shape, axis, length, {}, primes)
+
+    def _run_kernel(
+        self,
+        kind: str,
+        data: np.ndarray,
+        weights: np.ndarray,
+        out_shape: tuple[int, ...],
+        axis: str,
+        length: int,
+        common: dict,
+        primes: list[int],
+    ) -> np.ndarray:
+        self.arena.reset()
+        in_view = self.arena.place(data)
+        w_view = self.arena.place(weights)
+        out_view = self.arena.alloc(out_shape)
+        tasks = []
+        for r0, r1 in _unit_ranges(length, self.workers * UNITS_PER_WORKER):
+            tasks.append(
+                {
+                    "unit": self._unit_seq,
+                    "kind": kind,
+                    "shm": self.arena.name,
+                    "in_off": in_view.offset,
+                    "in_shape": in_view.shape,
+                    "w_off": w_view.offset,
+                    "w_shape": w_view.shape,
+                    "out_off": out_view.offset,
+                    "out_shape": out_view.shape,
+                    "axis": axis,
+                    "rows": (r0, r1),
+                    "primes": tuple(int(p) for p in primes),
+                    **common,
+                }
+            )
+            self._unit_seq += 1
+        self._run_units(tasks)
+        return out_view.array.copy()
+
+    # ------------------------------------------------------------------
+    # dispatch / collection
+    # ------------------------------------------------------------------
+    def _run_units(self, tasks: list[dict]) -> None:
+        units = _m_units()
+        preferred: dict[int, int] = {}
+        armed = faults.is_armed()
+        killed: list[int] = []
+        for index, task in enumerate(tasks):
+            wid = index % self.workers
+            preferred[task["unit"]] = wid
+            if armed and not killed:
+                event = faults.poll(FAULT_SITE, name=str(wid), units=len(tasks))
+                if event is not None:
+                    self._kill_worker(wid)
+                    killed.append(wid)
+            if killed:
+                # A known-dead worker may hold a queue lock, and survivors
+                # could drain its units and mask the loss; stop dispatching
+                # and recover the whole generation deterministically.
+                continue
+            self._tasks.put(task)
+            self.dispatched_units += 1
+            units.labels(kind=task["kind"]).inc()
+        pending = {task["unit"]: task for task in tasks}
+        if killed:
+            self._recover(killed, pending)
+            return
+        latency = _m_unit_latency()
+        deadline = time.monotonic() + RUN_TIMEOUT_S
+        while pending:
+            if self._poll_results(0.05):
+                wid, unit, elapsed = self._results.get()
+                task = pending.pop(unit, None)
+                if task is None:
+                    continue  # stale ack from a superseded generation
+                latency.labels(kind=task["kind"]).observe(elapsed)
+                _m_busy().labels(worker=str(wid)).inc(elapsed)
+                if wid != preferred[unit]:
+                    self.stolen_units += 1
+                    _m_steals().inc()
+                continue
+            dead = [w for w, proc in self._procs.items() if not proc.is_alive()]
+            if dead:
+                self._recover(dead, pending)
+                pending = {}
+            elif time.monotonic() > deadline:
+                raise ParallelError(
+                    f"worker pool stalled: {len(pending)} unit(s) pending "
+                    f"past {RUN_TIMEOUT_S:.0f}s with all workers alive"
+                )
+
+    def _poll_results(self, timeout: float) -> bool:
+        reader = getattr(self._results, "_reader", None)
+        if reader is not None:
+            return reader.poll(timeout)
+        time.sleep(timeout)  # pragma: no cover - SimpleQueue without _reader
+        return not self._results.empty()  # pragma: no cover
+
+    def _kill_worker(self, wid: int) -> None:
+        proc = self._procs.get(wid)
+        if proc is not None and proc.is_alive():
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.join(timeout=2.0)
+
+    def _recover(self, dead: list[int], pending: dict[int, dict]) -> None:
+        """Retire the pool generation and replay pending units in-process.
+
+        The whole generation goes, not just the dead worker: a SIGKILLed
+        worker can die holding a queue lock, and a surviving worker still
+        executing a unit from this flush must never write into the arena
+        after it is reused.  Replay runs the identical unit executor over
+        the parent's own mapping, in ascending unit order -- bit-identical
+        output by the determinism contract.
+        """
+        self.deaths += len(dead)
+        _m_deaths().inc(len(dead))
+        self._teardown_procs()
+        replay = _m_replayed()
+        for unit in sorted(pending):
+            _execute_unit(pending[unit], self.arena.buffer)
+            self.replayed_units += 1
+            replay.inc()
+        self._spawn_all()
+
+
+# ----------------------------------------------------------------------
+# kernel-facing dispatch helpers (None -> caller runs in-process)
+# ----------------------------------------------------------------------
+def dispatch_conv(
+    data: np.ndarray,
+    wtaps: np.ndarray,
+    *,
+    k: int,
+    s: int,
+    oh: int,
+    ow: int,
+    primes: list[int],
+    chunk: int,
+) -> np.ndarray | None:
+    """Pool-dispatch the fused scalar conv contraction, or None to fall
+    back in-process (workers <= 1, or nothing to split)."""
+    pool = active_pool()
+    if pool is None:
+        return None
+    return pool.run_conv(data, wtaps, k=k, s=s, oh=oh, ow=ow, primes=primes, chunk=chunk)
+
+
+def dispatch_dense(
+    fd: np.ndarray, wmat: np.ndarray, *, primes: list[int]
+) -> np.ndarray | None:
+    """Pool-dispatch the fused scalar dense contraction, or None to fall
+    back in-process."""
+    pool = active_pool()
+    if pool is None:
+        return None
+    return pool.run_dense(fd, wmat, primes=primes)
+
+
+# ----------------------------------------------------------------------
+# flush batch staging
+# ----------------------------------------------------------------------
+_stage_arena: Arena | None = None
+
+
+def stage_batch(arrays: list[np.ndarray]) -> np.ndarray:
+    """Concatenate a flush's request ciphertext data along axis 0 into the
+    process staging arena (one reused block per flush: no per-flush
+    allocation, and the stacked batch serializes as one buffer slice).
+    The view is valid until the next flush stages."""
+    global _stage_arena
+    if len(arrays) == 1:
+        return arrays[0]
+    if _stage_arena is None:
+        _stage_arena = Arena(1 << 14, shared=False, auto_grow=True)
+    _stage_arena.reset()
+    return _stage_arena.concat(arrays, axis=0).array

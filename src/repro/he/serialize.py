@@ -17,6 +17,7 @@ drives this contract with seeded random corruption.
 from __future__ import annotations
 
 import struct
+import sys
 import zlib
 
 import numpy as np
@@ -32,6 +33,7 @@ _KIND_PUBLIC = 2
 _KIND_RELIN = 3
 _KIND_CIPHER = 4
 _KIND_ARRAYS = 5
+_KIND_CIPHER_BATCH = 6
 
 # magic | crc32(rest) | kind, count, extra
 _CRC_OFFSET = len(_MAGIC)
@@ -41,13 +43,34 @@ _HEADER_LEN = _BODY_OFFSET + struct.calcsize(_FIELDS)
 _MAX_NDIM = 8
 
 
+#: Zero-copy payloads require the wire byte order; big-endian hosts always
+#: take the converting fallback.
+_NATIVE_IS_WIRE = sys.byteorder == "little"
+
+
+def _array_payload(arr: np.ndarray) -> "bytes | memoryview":
+    """The array's wire bytes -- a zero-copy ``memoryview`` when the array
+    is already a contiguous little-endian int64 block (arena views, any
+    freshly-built ciphertext data), else the converting copy."""
+    if (
+        _NATIVE_IS_WIRE
+        and isinstance(arr, np.ndarray)
+        and arr.ndim >= 1
+        and arr.dtype == np.int64
+        and arr.dtype.byteorder in ("=", "|", "<")
+        and arr.flags.c_contiguous
+    ):
+        return arr.view(np.uint8).reshape(-1).data
+    return np.ascontiguousarray(arr, dtype=np.int64).tobytes()
+
+
 def _pack(kind: int, arrays: list[np.ndarray], extra: int = 0) -> bytes:
-    parts = [struct.pack(_FIELDS, kind, len(arrays), extra)]
+    parts: list[bytes | memoryview] = [struct.pack(_FIELDS, kind, len(arrays), extra)]
     for arr in arrays:
-        arr = np.ascontiguousarray(arr, dtype=np.int64)
+        arr = np.asarray(arr)  # dtype conversion (if any) never changes shape
         parts.append(struct.pack("<B", arr.ndim))
         parts.append(struct.pack(f"<{arr.ndim}q", *arr.shape))
-        parts.append(arr.tobytes())
+        parts.append(_array_payload(arr))
     body = b"".join(parts)
     return _MAGIC + struct.pack("<I", zlib.crc32(body)) + body
 
@@ -173,6 +196,33 @@ def deserialize_int64_arrays(data: bytes) -> tuple[list[np.ndarray], int]:
 
 def serialize_ciphertext(ct: Ciphertext) -> bytes:
     return _pack(_KIND_CIPHER, [ct.data], extra=1 if ct.is_ntt else 0)
+
+
+def serialize_ciphertext_batch(cts: "list[Ciphertext]") -> bytes:
+    """Pack many same-domain ciphertexts as one payload.
+
+    With arena-backed ciphertexts this is the arena's serialization story
+    made concrete: one header walk (shape per ciphertext) plus one
+    zero-copy buffer slice per view -- no ``tobytes`` copies, no per-object
+    framing overhead.  All members must share the NTT/coefficient domain
+    (stacked flush batches always do).
+    """
+    if not cts:
+        raise SerializationError("ciphertext batch must be non-empty")
+    is_ntt = cts[0].is_ntt
+    if any(ct.is_ntt != is_ntt for ct in cts):
+        raise SerializationError(
+            "ciphertext batch mixes NTT and coefficient domains"
+        )
+    return _pack(_KIND_CIPHER_BATCH, [ct.data for ct in cts], extra=1 if is_ntt else 0)
+
+
+def deserialize_ciphertext_batch(data: bytes, context: Context) -> "list[Ciphertext]":
+    """Inverse of :func:`serialize_ciphertext_batch`."""
+    arrays, extra = _load(data, _KIND_CIPHER_BATCH, "ciphertext_batch")
+    if not arrays:
+        raise SerializationError("ciphertext batch payload holds no arrays")
+    return [Ciphertext(context, arr, is_ntt=bool(extra)) for arr in arrays]
 
 
 def deserialize_ciphertext(data: bytes, context: Context) -> Ciphertext:

@@ -56,6 +56,7 @@ from repro.errors import (
     UnknownModelError,
 )
 from repro.faults import run_with_kernel_degradation
+from repro.he import parallel
 from repro.he.batching import pack_coefficients
 from repro.he.context import Ciphertext
 from repro.obs import metrics
@@ -640,10 +641,14 @@ class RequestScheduler:
             enclave = server.enclave
         total = sum(r.batch for r in requests)
         # Requests share the enclave's key pair, so their ciphertexts stack
-        # into one scalar-encoded (total, C, H, W) batch for free.
+        # into one scalar-encoded (total, C, H, W) batch.  The batch is
+        # staged in the flush arena: one reused contiguous block per flush
+        # (each request copied exactly once), and the stacked data is a
+        # zero-copy view the fused kernels can hand to the worker pool as
+        # index ranges.
         stacked = Ciphertext(
             server.context,
-            np.concatenate([r.ct.to_ntt().data for r in requests], axis=0),
+            parallel.stage_batch([r.ct.to_ntt().data for r in requests]),
             is_ntt=True,
         )
         if flushed_at is None:
@@ -664,6 +669,7 @@ class RequestScheduler:
             batch=total,
             slot_count=self.slot_count,
             replica=getattr(enclave, "replica", None),
+            workers=parallel.active_workers(),
         ) as trace:
             with stage("pack"):
                 # Host side: fold the B stacked requests into polynomial

@@ -68,12 +68,31 @@ def _fleet_report(ratio_4x=3.5, bit_identical=True):
     }
 
 
+def _parallel_report(ratio_4x=1.8, byte_identical=True):
+    return {
+        "config": {"mode": "smoke"},
+        "runs": {
+            "4": {"images_per_s": 2400.0 * ratio_4x / 1.8, "p99_queue_wait_s": 0.11},
+        },
+        "scaling": {"ratio_2x": 1.45, "ratio_4x": ratio_4x},
+        "invariants": {
+            "speedup_floor": ratio_4x >= 1.5,
+            "byte_identical": byte_identical,
+            "bit_identical": byte_identical,
+            "all_tickets_resolved": True,
+            "chaos_recovered": True,
+            "chaos_byte_identical": byte_identical,
+        },
+    }
+
+
 def _write_pair(
     directory: Path,
     hotpath: dict,
     serving: dict,
     slo: dict | None = None,
     fleet: dict | None = None,
+    parallel: dict | None = None,
 ) -> None:
     directory.mkdir(parents=True, exist_ok=True)
     (directory / "BENCH_hotpath.json").write_text(json.dumps(hotpath))
@@ -83,6 +102,9 @@ def _write_pair(
     )
     (directory / "BENCH_fleet.json").write_text(
         json.dumps(fleet if fleet is not None else _fleet_report())
+    )
+    (directory / "BENCH_parallel.json").write_text(
+        json.dumps(parallel if parallel is not None else _parallel_report())
     )
 
 
@@ -165,7 +187,7 @@ class TestBenchGate:
         _gate(tmp_path / "base", tmp_path / "cur", "--report", str(report))
         doc = json.loads(report.read_text())
         assert doc["ok"] is True
-        assert set(doc["benches"]) == {"hotpath", "serving", "slo", "fleet"}
+        assert set(doc["benches"]) == {"hotpath", "serving", "slo", "fleet", "parallel"}
 
     def test_slo_invariant_violation_fails(self, tmp_path):
         _write_pair(tmp_path / "base", _hotpath_report(), _serving_report())
@@ -199,6 +221,28 @@ class TestBenchGate:
         proc = _gate(tmp_path / "base", tmp_path / "cur")
         assert proc.returncode == 1
         assert "scaling.ratio_4x" in proc.stdout
+
+    def test_parallel_byte_identity_violation_fails(self, tmp_path):
+        _write_pair(tmp_path / "base", _hotpath_report(), _serving_report())
+        _write_pair(
+            tmp_path / "cur", _hotpath_report(), _serving_report(),
+            parallel=_parallel_report(byte_identical=False),
+        )
+        proc = _gate(tmp_path / "base", tmp_path / "cur")
+        assert proc.returncode == 1
+        assert "invariants.byte_identical" in proc.stdout
+
+    def test_parallel_speedup_floor_violation_fails(self, tmp_path):
+        """The 1.5x floor is a hard invariant: a current run below it fails
+        even when the ratio drop is inside --tolerance."""
+        _write_pair(tmp_path / "base", _hotpath_report(), _serving_report())
+        _write_pair(
+            tmp_path / "cur", _hotpath_report(), _serving_report(),
+            parallel=_parallel_report(ratio_4x=1.4),
+        )
+        proc = _gate(tmp_path / "base", tmp_path / "cur")
+        assert proc.returncode == 1
+        assert "invariants.speedup_floor" in proc.stdout
 
     def test_bench_selection_scopes_the_gate(self, tmp_path):
         """--bench gates only the named benches: a broken slo report is

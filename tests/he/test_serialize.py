@@ -54,6 +54,85 @@ class TestCiphertextRoundTrip:
         assert np.array_equal(encoder.decode(decryptor.decrypt(restored)), values)
 
 
+class TestZeroCopyPayload:
+    """The arena's serialization dividend: contiguous int64 arrays go to
+    the wire as buffer slices, never through ``ascontiguousarray``."""
+
+    def test_contiguous_array_payload_is_a_memoryview(self, rng):
+        arr = rng.integers(-(1 << 40), 1 << 40, size=(3, 4, 5)).astype(np.int64)
+        payload = ser._array_payload(arr)
+        assert isinstance(payload, memoryview)
+        assert bytes(payload) == arr.tobytes()
+
+    def test_non_contiguous_array_falls_back_to_copy(self, rng):
+        arr = rng.integers(-100, 100, size=(4, 6)).astype(np.int64)
+        transposed = arr.T
+        assert not transposed.flags.c_contiguous
+        payload = ser._array_payload(transposed)
+        assert isinstance(payload, bytes)
+        assert payload == np.ascontiguousarray(transposed).tobytes()
+
+    def test_serialize_makes_no_copies_for_contiguous_data(
+        self, context, encryptor, encoder, monkeypatch
+    ):
+        """Pinned no-copy regression: serializing a freshly-built ciphertext
+        (contiguous int64 data) must not call ``ascontiguousarray`` at all,
+        and the blob must equal the copying path's byte-for-byte."""
+        ct = encryptor.encrypt(encoder.encode(55)).to_ntt()
+        reference = ser.serialize_ciphertext(ct)
+        calls = []
+        real = np.ascontiguousarray
+
+        def spy(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(ser.np, "ascontiguousarray", spy)
+        blob = ser.serialize_ciphertext(ct)
+        assert calls == []
+        assert blob == reference
+
+    def test_fortran_order_data_still_serializes_identically(self, rng):
+        values = rng.integers(-50, 50, size=(3, 4)).astype(np.int64)
+        fortran = np.asfortranarray(values)
+        assert ser.serialize_int64_arrays([fortran]) == ser.serialize_int64_arrays(
+            [np.ascontiguousarray(values)]
+        )
+
+
+class TestCiphertextBatch:
+    def test_round_trip(self, context, encryptor, decryptor, encoder):
+        cts = [encryptor.encrypt(encoder.encode(v)).to_ntt() for v in (3, -8, 21)]
+        blob = ser.serialize_ciphertext_batch(cts)
+        restored = ser.deserialize_ciphertext_batch(blob, context)
+        assert len(restored) == 3
+        for original, back, value in zip(cts, restored, (3, -8, 21)):
+            assert back.is_ntt
+            assert np.array_equal(back.data, original.data)
+            assert encoder.decode(decryptor.decrypt(back)) == value
+
+    def test_empty_batch_rejected(self):
+        from repro.errors import SerializationError
+
+        with pytest.raises(SerializationError):
+            ser.serialize_ciphertext_batch([])
+
+    def test_mixed_domains_rejected(self, context, encryptor, encoder):
+        from repro.errors import SerializationError
+
+        ct = encryptor.encrypt(encoder.encode(1))
+        with pytest.raises(SerializationError):
+            ser.serialize_ciphertext_batch([ct.to_ntt(), ct.to_coeff()])
+
+    def test_batch_bytes_walk_the_headers_only(self, context, encryptor, encoder):
+        """The batch blob is the per-ciphertext (ndim, shape, payload)
+        frames under one header -- payload bytes appear verbatim."""
+        cts = [encryptor.encrypt(encoder.encode(v)).to_ntt() for v in (7, 9)]
+        blob = ser.serialize_ciphertext_batch(cts)
+        for ct in cts:
+            assert ct.data.tobytes() in blob
+
+
 class TestFormatSafety:
     def test_bad_magic_rejected(self, context):
         with pytest.raises(ParameterError):

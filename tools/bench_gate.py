@@ -35,6 +35,8 @@ Refreshing baselines (after an intentional performance change)::
         --out benchmarks/baselines/BENCH_slo.json
     python benchmarks/bench_fleet_scaling.py --smoke --min-speedup 1.0 \
         --out benchmarks/baselines/BENCH_fleet.json
+    python benchmarks/bench_parallel_scaling.py --smoke --min-speedup 1.0 \
+        --out benchmarks/baselines/BENCH_parallel.json
 """
 
 from __future__ import annotations
@@ -113,6 +115,22 @@ BENCHES: dict[str, dict] = {
             MetricSpec("invariants.all_tickets_resolved", "invariant"),
             MetricSpec("invariants.failover_resolved", "invariant"),
             MetricSpec("invariants.failover_bit_identical", "invariant"),
+        ),
+    },
+    "parallel": {
+        "file": "BENCH_parallel.json",
+        "script": "benchmarks/bench_parallel_scaling.py",
+        "metrics": (
+            MetricSpec("scaling.ratio_2x", "ratio"),
+            MetricSpec("scaling.ratio_4x", "ratio"),
+            MetricSpec("runs.4.images_per_s", "ratio"),
+            MetricSpec("runs.4.p99_queue_wait_s", "timing"),
+            MetricSpec("invariants.speedup_floor", "invariant"),
+            MetricSpec("invariants.byte_identical", "invariant"),
+            MetricSpec("invariants.bit_identical", "invariant"),
+            MetricSpec("invariants.all_tickets_resolved", "invariant"),
+            MetricSpec("invariants.chaos_recovered", "invariant"),
+            MetricSpec("invariants.chaos_byte_identical", "invariant"),
         ),
     },
 }
