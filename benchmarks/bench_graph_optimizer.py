@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""Graph-optimizer end-to-end benchmark: images/sec at off / safe / aggressive.
+
+The graph optimizer (``repro.graph``) compiles each pipeline's inference
+chain and rewrites it — zero-tap bypass, bias folding into the fused
+contraction, batch packing at the enclave crossing, NTT hoisting, the
+scalar-encrypt fast path — under a hard contract: the optimized execution
+is *bit-identical* to the unoptimized reference.  This bench asks the two
+questions that make that shippable:
+
+* *Is it faster?*  The hybrid pipeline runs the same seeded batch at every
+  level on the simulated clock; ``hybrid.speedup_safe`` must clear the
+  ``--min-speedup`` floor (1.3x by default — ``invariants.speedup_floor``).
+* *Is it invisible?*  Rep-wise (fresh same-seed deployments advance their
+  RNG identically at every level because each rewrite preserves draw order
+  and count), the decrypted logits, the serialized logits-ciphertext bytes
+  and the homomorphic op tallies must match the ``off`` run exactly
+  (``invariants.bit_identical`` — a hard invariant, independent of
+  ``--min-speedup``).
+
+Emits ``BENCH_graph.json``; exits nonzero if an invariant fails.
+Run ``--smoke`` for the CI-sized configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.core import (
+    CryptonetsPipeline,
+    HybridPipeline,
+    parameters_for_pipeline,
+    train_paper_models,
+)
+from repro.graph import optimizer
+from repro.he import serialize as ser
+
+HYBRID_LEVELS = ("off", "safe", "aggressive")
+CRYPTONETS_LEVELS = ("off", "safe")
+
+
+def run_level(factory, level, images, reps):
+    """Run ``reps`` timed inferences at ``level`` on one fresh pipeline
+    (after one untimed warm-up rep, so cold caches don't skew the first
+    level measured); returns (min simulated seconds, per-rep fingerprints,
+    applied passes).  The warm-up's fingerprint is compared too."""
+    with optimizer.use(level):
+        pipe = factory()
+        times = []
+        fingerprints = []
+        for rep in range(reps + 1):
+            t0 = pipe.clock.now_s
+            res = pipe.infer(images)
+            if rep > 0:
+                times.append(pipe.clock.now_s - t0)
+            fingerprints.append(
+                (
+                    res.logits.tolist(),
+                    ser.serialize_ciphertext(res.logits_ct),
+                    dict(pipe.counter.counts),
+                )
+            )
+        return min(times), fingerprints, list(pipe.graph_report.applied)
+
+
+def bench_scheme(factory, levels, images, reps):
+    """All levels of one scheme; returns (per-level rows, bit_identical)."""
+    rows = {}
+    reference = None
+    identical = True
+    for level in levels:
+        sim_s, fingerprints, applied = run_level(factory, level, images, reps)
+        if level == "off":
+            reference = fingerprints
+        elif fingerprints != reference:
+            identical = False
+        rows[level] = {"simulated_s": sim_s, "applied": applied}
+    return rows, identical
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--reps", type=int, default=None)
+    parser.add_argument("--batch", type=int, default=None)
+    parser.add_argument("--out", default="BENCH_graph.json")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.3,
+        help="hybrid safe-level end-to-end speedup floor (default 1.3)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        models = train_paper_models(
+            300, 60, epochs=2, image_size=10, channels=2, kernel_size=3
+        )
+        batch = args.batch or 4
+        reps = args.reps or 3
+    else:
+        models = train_paper_models(
+            600, 120, epochs=4, image_size=12, channels=2, kernel_size=3
+        )
+        batch = args.batch or 8
+        reps = args.reps or 5
+
+    q_sigmoid = models.quantized_sigmoid()
+    q_square = models.quantized_square()
+    hybrid_params = parameters_for_pipeline(q_sigmoid, 256)
+    he_params = parameters_for_pipeline(q_square, 256)
+    images = models.dataset.test_images[:batch]
+
+    hybrid_rows, hybrid_identical = bench_scheme(
+        lambda: HybridPipeline(q_sigmoid, hybrid_params, seed=args.seed),
+        HYBRID_LEVELS,
+        images,
+        reps,
+    )
+    he_rows, he_identical = bench_scheme(
+        lambda: CryptonetsPipeline(q_square, he_params, seed=args.seed),
+        CRYPTONETS_LEVELS,
+        images,
+        reps,
+    )
+
+    off_s = hybrid_rows["off"]["simulated_s"]
+    safe_s = hybrid_rows["safe"]["simulated_s"]
+    aggressive_s = hybrid_rows["aggressive"]["simulated_s"]
+    he_off_s = he_rows["off"]["simulated_s"]
+    he_safe_s = he_rows["safe"]["simulated_s"]
+    speedup_safe = off_s / safe_s
+    bit_identical = hybrid_identical and he_identical
+
+    report = {
+        "config": {
+            "mode": "smoke" if args.smoke else "full",
+            "seed": args.seed,
+            "batch": batch,
+            "reps": reps,
+            "min_speedup": args.min_speedup,
+        },
+        "hybrid": {
+            "off_simulated_s": off_s,
+            "safe_simulated_s": safe_s,
+            "aggressive_simulated_s": aggressive_s,
+            "speedup_safe": speedup_safe,
+            "speedup_aggressive": off_s / aggressive_s,
+            "images_per_s_safe": batch / safe_s,
+            "applied_safe": hybrid_rows["safe"]["applied"],
+        },
+        "cryptonets": {
+            "off_simulated_s": he_off_s,
+            "safe_simulated_s": he_safe_s,
+            "speedup_safe": he_off_s / he_safe_s,
+            "applied_safe": he_rows["safe"]["applied"],
+        },
+        "invariants": {
+            "bit_identical": bit_identical,
+            "speedup_floor": speedup_safe >= args.min_speedup,
+        },
+    }
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, default=str)
+        fh.write("\n")
+
+    print(
+        f"hybrid: off {off_s:.3f}s  safe {safe_s:.3f}s "
+        f"({speedup_safe:.2f}x)  aggressive {aggressive_s:.3f}s "
+        f"({off_s / aggressive_s:.2f}x)"
+    )
+    print(
+        f"cryptonets: off {he_off_s:.3f}s  safe {he_safe_s:.3f}s "
+        f"({he_off_s / he_safe_s:.2f}x)"
+    )
+    print(f"bit identical across levels: {bit_identical}")
+
+    if not bit_identical:
+        print("FAIL: optimized execution diverged from the reference", file=sys.stderr)
+        return 1
+    if speedup_safe < args.min_speedup:
+        print(
+            f"FAIL: hybrid safe speedup {speedup_safe:.2f}x below the "
+            f"{args.min_speedup:.2f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,11 +21,12 @@ import numpy as np
 
 from repro.core import heops
 from repro.core.results import InferenceResult, stages_from_trace
+from repro.graph import executor as graph_executor
 from repro.errors import PipelineError
 from repro.faults import run_with_kernel_degradation
 from repro.he import kernels
 from repro.he.context import Context
-from repro.he.decryptor import Decryptor, decrypt_scalar_values
+from repro.he.decryptor import Decryptor
 from repro.he.encoders import ScalarEncoder
 from repro.he.encryptor import Encryptor
 from repro.he.evaluator import Evaluator, OperationCounter
@@ -102,39 +103,16 @@ class CryptonetsPipeline:
         )
 
     def _infer_once(self, images: np.ndarray) -> InferenceResult:
+        graph, report = graph_executor.compiled_for(self, "cryptonets")
+        self.graph_report = report
         with self.tracer.span(
             self.scheme,
             kind="pipeline",
             kernel_mode=kernels.active().mode_name,
+            graph_opt=report.label,
             batch=int(images.shape[0]),
         ) as trace:
-            with self.tracer.stage("encrypt"):
-                ct = self.encrypt_images(images)
-
-            with self.tracer.stage("conv"):
-                conv = heops.he_conv2d(
-                    self.evaluator, self.encoder, ct, self.conv_weights
-                )
-
-            with self.tracer.stage("square"):
-                squared = heops.he_square(self.evaluator, conv)
-
-            with self.tracer.stage("relinearize"):
-                relined = self.evaluator.relinearize(squared, self._relin_keys)
-
-            with self.tracer.stage("pool"):
-                pooled = heops.he_scaled_mean_pool(
-                    self.evaluator, relined, self.quantized.pool_window
-                )
-
-            with self.tracer.stage("fc"):
-                logits_ct = heops.he_dense(
-                    self.evaluator, self.encoder, pooled, self.dense_weights
-                )
-
-            budget = self.decryptor.invariant_noise_budget(logits_ct)
-            with self.tracer.stage("decrypt"):
-                logits = decrypt_scalar_values(self.decryptor, self.encoder, logits_ct)
+            logits, budget, logits_ct = graph_executor.run(self, graph, images)
 
         return InferenceResult(
             logits=logits,
@@ -143,4 +121,5 @@ class CryptonetsPipeline:
             noise_budget_bits=budget,
             op_counts=dict(self.counter.counts),
             trace=trace,
+            logits_ct=logits_ct,
         )

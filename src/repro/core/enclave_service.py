@@ -253,6 +253,65 @@ class InferenceEnclave(Enclave):
         return self._encryptor.encrypt(codec.encode_batch_axis(requantized))
 
     @ecall
+    def activation_pool_packed(
+        self,
+        ct: Ciphertext,
+        shape: tuple,
+        chunk: int,
+        input_scale: float,
+        output_scale: int,
+        window: int,
+        activation: str = "sigmoid",
+        pool: str = "mean",
+    ) -> Ciphertext:
+        """Coefficient-packed variant of :meth:`activation_pool`.
+
+        The host flattens the whole ``shape``-d feature-map tensor and
+        folds runs of ``chunk`` values into the polynomial *coefficients*
+        of single ciphertexts (:func:`~repro.he.batching.pack_coefficients`),
+        so the payload this call marshals and decrypts shrinks from one
+        ciphertext per value to ``ceil(N / chunk)`` ciphertexts total.
+        Ciphertext ``j`` carries flat values ``j * chunk ..`` in its
+        coefficients (a possibly-shorter tail ciphertext carries the
+        remainder).  The trusted side re-reads the coefficients, restores
+        ``shape``, applies the exact activation + pooling to every element,
+        and re-encrypts one scalar-encoded ciphertext per element -- the
+        same values through the same :meth:`_encrypt_values` RNG draws as
+        the unpacked crossing, so the output bytes are identical.
+        """
+        if chunk < 1 or chunk > self._context.poly_degree:
+            raise PipelineError(
+                f"chunk must be in [1, {self._context.poly_degree}], got {chunk}"
+            )
+        self._load_crypto_state()
+        plain = self._decryptor.decrypt(ct)
+        coeffs = plain.signed_coeffs().reshape(-1, self._context.poly_degree)
+        total = int(np.prod(shape))
+        full, remainder = divmod(total, chunk)
+        expected = full + (1 if remainder else 0)
+        if coeffs.shape[0] != expected:
+            raise PipelineError(
+                f"packed payload carries {coeffs.shape[0]} ciphertexts; "
+                f"shape {tuple(shape)} at chunk {chunk} needs {expected}"
+            )
+        parts = []
+        if full:
+            parts.append(coeffs[:full, :chunk].reshape(-1))
+        if remainder:
+            parts.append(coeffs[full, :remainder])
+        values = np.concatenate(parts).reshape(shape)
+        scaled = values.astype(np.float64) / input_scale
+        activated = self._apply_activation(scaled, activation)
+        if pool == "max":
+            pooled = _max_pool(activated, window)
+        elif pool == "mean":
+            pooled = _mean_pool(activated, window)
+        else:
+            raise PipelineError(f"unsupported enclave pool {pool!r}")
+        requantized = np.rint(pooled * output_scale).astype(np.int64)
+        return self._encrypt_values(requantized)
+
+    @ecall
     def pack_slots(self, ct: Ciphertext, batch: int) -> Ciphertext:
         """Convert a *coefficient-packed* ciphertext into a slot-packed
         ``(1, ...)`` ciphertext with request row ``b`` in CRT slot ``b``.

@@ -14,6 +14,8 @@ inference.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.errors import PipelineError
@@ -26,6 +28,34 @@ from repro.he.evaluator import Evaluator, PlainOperand
 _TAP_CHUNK_ELEMS = 1 << 24
 
 _INT64_MAX = (1 << 63) - 1
+
+
+@dataclass(frozen=True)
+class LayerPlan:
+    """Graph-optimizer rewrites for one fused contraction.
+
+    Produced by ``repro.graph`` passes; every rewrite is exact, so a layer
+    executed with a plan is bit-identical to one executed without it:
+
+    Attributes:
+        keep_taps: surviving tap indices (conv: row-major ``(C, i, j)``
+            positions; dense: flattened input dims).  Dropped taps have a
+            zero weight in every filter/class, so their contribution to the
+            modular accumulator is exactly zero.
+        fold_bias: add the encoded bias residues into the still-unreduced
+            int64 accumulator instead of a separate ``add_plain_operand``
+            pass; only honored on the scalar fast path, whose overflow
+            bound is checked with one extra canonical-residue term of slack.
+
+    The plan is advisory: paths that cannot apply a rewrite exactly (the
+    pooled multicore dispatch, generic NTT operands, the non-fused
+    reference loop) ignore it and produce the same bytes the slow way.
+    Recorded op tallies always reflect the *reference* op structure (full
+    tap counts), keeping tallies comparable across optimizer levels.
+    """
+
+    keep_taps: tuple[int, ...] | None = None
+    fold_bias: bool = False
 
 
 def _recover_slot_constants(ntt_data: np.ndarray, prime_list: list[int]) -> np.ndarray | None:
@@ -52,14 +82,17 @@ def _recover_slot_constants(ntt_data: np.ndarray, prime_list: list[int]) -> np.n
     return values
 
 
-def _scalar_tap_bound_ok(values: np.ndarray, terms: int, p_max: int) -> bool:
+def _scalar_tap_bound_ok(
+    values: np.ndarray, terms: int, p_max: int, slack: int = 0
+) -> bool:
     """True when ``sum_{terms}(w * x)`` with ``|w| <= max|values|`` and
     ``0 <= x < p_max`` cannot overflow int64 -- the fused layers' deferred
-    single-reduction contract."""
+    single-reduction contract.  ``slack`` budgets extra weight-1 residue
+    terms (the graph optimizer's folded bias adds one)."""
     if values.size == 0:
         return False
     w_max = int(np.abs(values).max())
-    return terms * w_max * (p_max - 1) <= _INT64_MAX
+    return (terms * w_max + slack) * (p_max - 1) <= _INT64_MAX
 
 
 class EncodedConvWeights:
@@ -220,13 +253,16 @@ def he_conv2d(
     encoder: ScalarEncoder,
     ct: Ciphertext,
     weights: EncodedConvWeights,
+    plan: LayerPlan | None = None,
 ) -> Ciphertext:
     """Homomorphic convolution over a ``(B, C, H, W)`` ciphertext batch.
 
     For each kernel tap the input window slice (a strided view over the
     batch axes) is multiplied by the encoded scalar weight and accumulated,
     i.e. ``k*k*C`` C x P and C + C operations per output map -- the exact op
-    structure Fig. 4 measures.
+    structure Fig. 4 measures.  ``plan`` carries graph-optimizer rewrites
+    (see :class:`LayerPlan`); honored on the fused scalar path, ignored
+    (bit-identically) elsewhere.
     """
     if len(ct.batch_shape) != 4:
         raise PipelineError(
@@ -242,7 +278,7 @@ def he_conv2d(
     oh = (h - k) // s + 1
     ow = (w - k) // s + 1
     if kernels.active().fused_layers and weights.bias_operand is not None:
-        return _he_conv2d_fused(evaluator, ct, weights, oh, ow)
+        return _he_conv2d_fused(evaluator, ct, weights, oh, ow, plan=plan)
     per_channel: list[Ciphertext] = []
     for fi in range(weights.out_channels):
         acc: Ciphertext | None = None
@@ -266,6 +302,7 @@ def _he_conv2d_fused(
     weights: EncodedConvWeights,
     oh: int,
     ow: int,
+    plan: LayerPlan | None = None,
 ) -> Ciphertext:
     """Tap-batched convolution: every ``F * C * k * k`` tap window stacked
     along one batch axis, each output map one fused multiply + deferred
@@ -297,8 +334,19 @@ def _he_conv2d_fused(
     chunk = max(1, _TAP_CHUNK_ELEMS // max(1, slice_elems))
     p_max = int(ring.primes.max())
     wtaps = weights.weight_taps
-    scalar_path = wtaps is not None and _scalar_tap_bound_ok(wtaps, t, p_max)
-    if scalar_path:
+    keep = (
+        list(plan.keep_taps)
+        if plan is not None and plan.keep_taps is not None
+        else None
+    )
+    fold = plan is not None and plan.fold_bias and weights.bias_operand is not None
+    eff_wtaps = wtaps[:, keep] if (wtaps is not None and keep is not None) else wtaps
+    t_eff = len(keep) if keep is not None else t
+    scalar_full = wtaps is not None and _scalar_tap_bound_ok(wtaps, t, p_max)
+    scalar_path = eff_wtaps is not None and _scalar_tap_bound_ok(
+        eff_wtaps, t_eff, p_max, slack=1 if fold else 0
+    )
+    if scalar_full:
         # Multicore path: the scalar contraction's work units (batch rows,
         # or conv output rows for a packed B == 1 flush) dispatch to the
         # shared-memory pool; byte-identical to the in-process loop below
@@ -322,9 +370,16 @@ def _he_conv2d_fused(
                     evaluator.counter.record("ct_add", f * (t - 1) * lanes)
             out = Ciphertext(ct.context, pooled, is_ntt=True)
             return evaluator.add_plain_operand(out, weights.bias_operand)
+    # Plan rewrites apply only to the in-process scalar contraction: a
+    # zero-weight tap contributes exactly zero, so skipping it leaves every
+    # modular sum unchanged, and the folded bias lands in the accumulator
+    # before the single reduction pass.
+    run_index = [tap_index[x] for x in keep] if (scalar_path and keep is not None) else tap_index
+    run_w = eff_wtaps if scalar_path else wtaps
+    t_run = len(run_index)
     acc = np.zeros((f, b, oh, ow, *tail), dtype=np.int64)
-    for start in range(0, t, chunk):
-        block = tap_index[start : start + chunk]
+    for start in range(0, t_run, chunk):
+        block = run_index[start : start + chunk]
         win = np.empty((len(block), b, oh, ow, *tail), dtype=np.int64)
         for off, (ci, i, j) in enumerate(block):
             win[off] = data[:, ci, i : i + oh * s : s, j : j + ow * s : s]
@@ -333,7 +388,7 @@ def _he_conv2d_fused(
             # stays below int64 by the bound check, so no intermediate
             # reductions at all -- one matmul per chunk.
             acc += (
-                wtaps[:, start : start + chunk] @ win.reshape(len(block), -1)
+                run_w[:, start : start + chunk] @ win.reshape(len(block), -1)
             ).reshape(acc.shape)
         else:
             # (F, Tc, B, OH, OW, size, k_rns, n) product, reduced over taps.
@@ -342,10 +397,16 @@ def _he_conv2d_fused(
                 taps[:, start : start + chunk, None, None, None, None, :, :],
                 axis=1,
             )
+    folded = False
     if scalar_path:
+        if fold:
+            acc[..., 0, :, :] += weights.bias_operand.ntt_data.reshape(
+                f, 1, 1, 1, *tail[-2:]
+            )
+            folded = True
         for i, p in enumerate(ring.primes):
             acc[..., i, :] %= int(p)  # floor mod: exact also for negatives
-    elif t > chunk:  # partial sums per chunk are each reduced; fold them
+    elif t_run > chunk:  # partial sums per chunk are each reduced; fold them
         acc %= ring.primes.reshape(-1, 1)
     if evaluator.counter is not None:
         lanes = b * oh * ow
@@ -355,6 +416,10 @@ def _he_conv2d_fused(
     out = Ciphertext(
         ct.context, np.ascontiguousarray(np.moveaxis(acc, 0, 1)), is_ntt=True
     )
+    if folded:
+        if evaluator.counter is not None:
+            evaluator.counter.record("plain_add", max(1, out.batch_count))
+        return out
     return evaluator.add_plain_operand(out, weights.bias_operand)
 
 
@@ -398,12 +463,14 @@ def he_dense(
     encoder: ScalarEncoder,
     ct: Ciphertext,
     weights: EncodedDenseWeights,
+    plan: LayerPlan | None = None,
 ) -> Ciphertext:
     """Homomorphic fully connected layer over a flattened ciphertext batch.
 
     Produces a ``(B, O)`` ciphertext of scaled logits: for every output
     class the flattened input batch is multiplied slot-wise by that class's
-    weight vector and folded with a batched C + C reduction.
+    weight vector and folded with a batched C + C reduction.  ``plan``
+    carries graph-optimizer rewrites (see :class:`LayerPlan`).
     """
     b = ct.batch_shape[0]
     flat = ct.reshape(b, -1)
@@ -415,7 +482,7 @@ def he_dense(
                 f"ciphertext provides {d}"
             )
     if kernels.active().fused_layers and weights.bias_operand is not None:
-        return _he_dense_fused(evaluator, flat, weights)
+        return _he_dense_fused(evaluator, flat, weights, plan=plan)
     outputs: list[Ciphertext] = []
     for oi, operand in enumerate(weights.operands):
         products = evaluator.multiply_plain(flat, operand)
@@ -427,19 +494,34 @@ def he_dense(
 
 
 def _he_dense_fused(
-    evaluator: Evaluator, flat: Ciphertext, weights: EncodedDenseWeights
+    evaluator: Evaluator,
+    flat: Ciphertext,
+    weights: EncodedDenseWeights,
+    plan: LayerPlan | None = None,
 ) -> Ciphertext:
     """All-classes FC kernel: one fused multiply + deferred-reduction sum
     over the stacked ``(O, D, k, n)`` operand computes every output class at
     once; bit-identical to the per-class loop, with matching op tallies.
     Slot-constant scalar weights take the signed int64 matmul shortcut (one
-    mod-p pass after the whole contraction)."""
+    mod-p pass after the whole contraction).  Plan rewrites (zero-dim
+    bypass, bias folding) apply only to that in-process shortcut; every
+    other path ignores the plan bit-identically."""
     ring = flat.context.ring
     flat = flat.to_ntt()
     b, d = flat.batch_shape
     o = weights.out_features
     wmat = weights.weight_matrix
-    if wmat is not None and _scalar_tap_bound_ok(wmat, d, int(ring.primes.max())):
+    p_max = int(ring.primes.max())
+    keep = (
+        list(plan.keep_taps)
+        if plan is not None and plan.keep_taps is not None
+        else None
+    )
+    fold = plan is not None and plan.fold_bias and weights.bias_operand is not None
+    eff_wmat = wmat[:, keep] if (wmat is not None and keep is not None) else wmat
+    d_eff = len(keep) if keep is not None else d
+    folded = False
+    if wmat is not None and _scalar_tap_bound_ok(wmat, d, p_max):
         # Multicore path: batch rows (or output classes for B == 1) as
         # shared-memory pool units, byte-identical to the matmul below.
         pooled = parallel.dispatch_dense(
@@ -451,9 +533,21 @@ def _he_dense_fused(
                 evaluator.counter.record("ct_add", o * (d - 1) * b)
             out = Ciphertext(flat.context, pooled, is_ntt=True)
             return evaluator.add_plain_operand(out, weights.bias_operand)
+    if eff_wmat is not None and _scalar_tap_bound_ok(
+        eff_wmat, d_eff, p_max, slack=1 if fold else 0
+    ):
         fd = flat.data  # (B, D, size, k_rns, n)
         moved = np.ascontiguousarray(np.moveaxis(fd, 1, 0)).reshape(d, -1)
-        summed = (wmat @ moved).reshape(o, b, *fd.shape[2:])
+        if keep is not None:
+            # Dropped input dims have a zero weight in every class: their
+            # contribution to each modular sum is exactly zero.
+            moved = moved[keep]
+        summed = (eff_wmat @ moved).reshape(o, b, *fd.shape[2:])
+        if fold:
+            summed[..., 0, :, :] += weights.bias_operand.ntt_data.reshape(
+                o, 1, *fd.shape[-2:]
+            )
+            folded = True
         for i, p in enumerate(ring.primes):
             summed[..., i, :] %= int(p)
     else:
@@ -469,4 +563,8 @@ def _he_dense_fused(
     out = Ciphertext(
         flat.context, np.ascontiguousarray(np.moveaxis(summed, 0, 1)), is_ntt=True
     )
+    if folded:
+        if evaluator.counter is not None:
+            evaluator.counter.record("plain_add", max(1, out.batch_count))
+        return out
     return evaluator.add_plain_operand(out, weights.bias_operand)

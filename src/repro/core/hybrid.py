@@ -27,13 +27,14 @@ import numpy as np
 
 from repro.core import heops
 from repro.core.enclave_service import InferenceEnclave
+from repro.graph import executor as graph_executor
 from repro.core.keyflow import establish_user_keys
 from repro.core.results import InferenceResult, stages_from_trace
 from repro.errors import PipelineError
 from repro.faults import EnclaveSupervisor, run_with_kernel_degradation
 from repro.he import kernels
 from repro.he.context import Ciphertext, Context
-from repro.he.decryptor import Decryptor, decrypt_scalar_values
+from repro.he.decryptor import Decryptor
 from repro.he.encoders import ScalarEncoder
 from repro.he.encryptor import Encryptor
 from repro.he.evaluator import Evaluator, OperationCounter
@@ -186,6 +187,8 @@ class HybridPipeline:
         )
 
     def _infer_once(self, images: np.ndarray) -> InferenceResult:
+        graph, report = graph_executor.compiled_for(self, "hybrid", mode=self.mode)
+        self.graph_report = report
         with self.tracer.span(
             self.scheme,
             kind="pipeline",
@@ -193,30 +196,10 @@ class HybridPipeline:
             side_channel=self.enclave.side_channel,
             mode=self.mode,
             kernel_mode=kernels.active().mode_name,
+            graph_opt=report.label,
             batch=int(images.shape[0]),
         ) as trace:
-            with self._stage("encrypt"):
-                ct = self.encrypt_images(images)
-
-            with self._stage("conv"):
-                conv = heops.he_conv2d(
-                    self.evaluator, self.encoder, ct, self.conv_weights
-                )
-
-            # The stage span measures host wall time *exclusively*, so the
-            # per-pixel mode's slicing/reassembly around its ECALLs is
-            # charged here without double-counting the in-enclave compute.
-            with self._stage("sgx_activation_pool"):
-                hidden = self._activation_pool(conv)
-
-            with self._stage("fc"):
-                logits_ct = heops.he_dense(
-                    self.evaluator, self.encoder, hidden, self.dense_weights
-                )
-
-            budget = self.decryptor.invariant_noise_budget(logits_ct)
-            with self._stage("decrypt"):
-                logits = decrypt_scalar_values(self.decryptor, self.encoder, logits_ct)
+            logits, budget, logits_ct = graph_executor.run(self, graph, images)
 
         return InferenceResult(
             logits=logits,
@@ -226,4 +209,5 @@ class HybridPipeline:
             op_counts=dict(self.counter.counts),
             enclave_crossings=trace.crossings,
             trace=trace,
+            logits_ct=logits_ct,
         )

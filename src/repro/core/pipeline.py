@@ -116,6 +116,12 @@ class PipelineSpec:
             in-process path, ``None`` leaves the active setting (the
             ``REPRO_WORKERS`` environment default) untouched.  Results are
             byte-identical at any width.
+        graph_optimizer: graph-optimizer level (``"off"``, ``"safe"``,
+            ``"aggressive"``) to install process-wide at build time
+            (``repro.graph.optimizer``); ``None`` leaves the active setting
+            (the ``REPRO_GRAPH_OPT`` environment default) untouched.
+            Optimized execution is bit-identical to ``"off"`` -- same
+            logits, same serialized ciphertext bytes, same op tallies.
         fleet_size: enclave replicas for ``EdgeServer.from_spec`` (>= 1).
         max_queue_depth / max_batch / window_s: scheduler queue bounds; any
             set value flows into the server's
@@ -131,6 +137,7 @@ class PipelineSpec:
     batching: bool | None = None
     kernel_profile: str | None = None
     workers: int | None = None
+    graph_optimizer: str | None = None
     fleet_size: int = 1
     max_queue_depth: int | None = None
     max_batch: int | None = None
@@ -148,6 +155,14 @@ class PipelineSpec:
             )
         if self.workers is not None and self.workers < 1:
             raise PipelineError("workers must be >= 1 (or None to inherit)")
+        if self.graph_optimizer is not None:
+            from repro.graph import optimizer as graph_optimizer
+
+            if self.graph_optimizer not in graph_optimizer.LEVELS:
+                raise PipelineError(
+                    f"graph_optimizer must be one of {graph_optimizer.LEVELS}, "
+                    f"got {self.graph_optimizer!r}"
+                )
         if self.fleet_size < 1:
             raise PipelineError("fleet_size must be >= 1")
         if self.max_queue_depth is not None and self.max_queue_depth < 1:
@@ -199,6 +214,15 @@ class PipelineSpec:
         from repro.he import parallel
 
         parallel.configure(self.workers)
+
+    def apply_graph_optimizer(self) -> None:
+        """Install the spec's graph-optimizer level process-wide (no-op when
+        None)."""
+        if self.graph_optimizer is None:
+            return
+        from repro.graph import optimizer as graph_optimizer
+
+        graph_optimizer.configure(self.graph_optimizer)
 
     def serve_config(self) -> "ServeConfig | None":
         """A :class:`~repro.serve.ServeConfig` from the spec's queue bounds
@@ -252,7 +276,10 @@ def build_pipeline(
         poly_degree: degree used for auto-sizing (ignored when ``params`` is
             given).
         **opts: scheme-specific options -- ``mode`` (hybrid), ``platform``
-            (hybrid/simd/deep), ``seed``, ``clock`` (plaintext/cryptonets).
+            (hybrid/simd/deep), ``seed``, ``clock`` (plaintext/cryptonets)
+            -- plus the process-wide knobs ``workers`` and
+            ``graph_optimizer``, applied exactly as the matching
+            :class:`PipelineSpec` attributes would be.
 
     Raises:
         PipelineError: unknown scheme, an option the scheme does not take,
@@ -262,6 +289,7 @@ def build_pipeline(
         spec = scheme
         spec.apply_kernel_profile()
         spec.apply_workers()
+        spec.apply_graph_optimizer()
         canonical = spec.scheme
         batching = spec.wants_batching()
         poly_degree = spec.poly_degree
@@ -273,6 +301,16 @@ def build_pipeline(
     else:
         canonical = resolve_scheme(scheme)
         batching = canonical == "simd"
+    workers = opts.pop("workers", None)
+    graph_level = opts.pop("graph_optimizer", None)
+    if workers is not None or graph_level is not None:
+        # Route the process-wide knobs through a throwaway spec so the
+        # kwarg form shares PipelineSpec's validation and application.
+        knobs = PipelineSpec(
+            scheme=canonical, workers=workers, graph_optimizer=graph_level
+        )
+        knobs.apply_workers()
+        knobs.apply_graph_optimizer()
     allowed = _SCHEME_OPTS[canonical]
     unknown = set(opts) - allowed
     if unknown:

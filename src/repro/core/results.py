@@ -50,6 +50,10 @@ class InferenceResult:
         enclave_crossings: number of ECALLs the run needed.
         trace: the run's root span (pipeline -> stage -> ecall), when the
             pipeline traced it; ``stages`` are its direct stage children.
+        logits_ct: the encrypted logits prior to decryption (None for
+            plaintext pipelines); the differential equivalence harness
+            serializes it for byte-level comparisons across optimizer
+            levels.
     """
 
     logits: np.ndarray
@@ -59,6 +63,7 @@ class InferenceResult:
     op_counts: dict[str, int] = field(default_factory=dict)
     enclave_crossings: int = 0
     trace: Span | None = None
+    logits_ct: object | None = None
 
     @property
     def predictions(self) -> np.ndarray:

@@ -199,10 +199,12 @@ class EdgeServer:
     ) -> "EdgeServer":
         """Build a server from a declarative :class:`~repro.core.pipeline.
         PipelineSpec`: parameters (exact, or auto-sized against
-        ``sizing_model``), kernel profile, flush worker count, fleet size
-        and queue bounds all come from the spec."""
+        ``sizing_model``), kernel profile, flush worker count, graph
+        optimizer level, fleet size and queue bounds all come from the
+        spec."""
         spec.apply_kernel_profile()
         spec.apply_workers()
+        spec.apply_graph_optimizer()
         return cls(
             spec.resolve_params(sizing_model),
             platform=platform,

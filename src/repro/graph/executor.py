@@ -1,0 +1,194 @@
+"""Execute a compiled inference graph on a live pipeline object.
+
+The executor walks the linear node chain and emits exactly the stage
+spans the pre-IR pipelines emitted, so traces, metrics, and op tallies
+stay comparable across optimizer levels.  Every rewrite the passes may
+have applied has a reference fallback here, and the reference ("off")
+walk reproduces the original layer-by-layer execution op for op — that
+is what makes the differential equivalence suite meaningful.
+
+Bit-identity notes per rewrite:
+
+* ``keep_taps`` / ``fold_bias`` ride into :mod:`repro.core.heops` via
+  :class:`repro.core.heops.LayerPlan`; the fused kernels apply them only
+  where they are exact (see heops).
+* ``packed`` crossings flatten the whole feature-map tensor and fold
+  runs of ``chunk`` values into polynomial coefficients
+  (:func:`repro.he.batching.pack_coefficients`, RNG-free) before one
+  ``activation_pool_packed`` ECALL whose trusted side re-encrypts the
+  same values with the same per-element RNG draws as the unpacked ECALL,
+  so the post-crossing ciphertext bytes are identical.
+* ``hoist_coeff`` squares via one shared coefficient-domain transform
+  (``Ciphertext.to_coeff`` returns the argument when already
+  transformed), saving an INTT without changing a single residue.
+* ``scalar_encrypt`` uses :meth:`repro.he.encryptor.Encryptor.encrypt_scalar`
+  (same RNG draws, same arithmetic on scalar encodings).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import heops
+from repro.errors import PipelineError
+from repro.graph import ir, optimizer
+from repro.he.batching import pack_coefficients
+from repro.he.context import Ciphertext
+from repro.he.decryptor import decrypt_scalar_values
+from repro.he.evaluator import Evaluator
+
+
+def compiled_for(pipe, kind: str, mode: str = "batched"):
+    """Return (graph, report) for ``pipe``, cached until the optimizer
+    configuration changes."""
+    key = optimizer.cache_key()
+    cached = getattr(pipe, "_graph_cache", None)
+    if cached is not None and cached[0] == key:
+        return cached[1], cached[2]
+    if kind == "hybrid":
+        graph = ir.build_hybrid_graph(pipe.quantized, pipe.context.params, mode=mode)
+    elif kind == "cryptonets":
+        graph = ir.build_cryptonets_graph(pipe.quantized, pipe.context.params)
+    else:
+        raise PipelineError(f"unknown graph kind {kind!r}")
+    compiled, report = optimizer.compile_graph(graph)
+    pipe._graph_cache = (key, compiled, report)
+    return compiled, report
+
+
+def _layer_plan(node: ir.GraphNode) -> heops.LayerPlan | None:
+    keep = node.attrs.get("keep_taps")
+    fold = bool(node.attrs.get("fold_bias"))
+    if keep is None and not fold:
+        return None
+    return heops.LayerPlan(keep_taps=keep, fold_bias=fold)
+
+
+def _encrypt(pipe, node: ir.GraphNode, images: np.ndarray):
+    pixels = pipe.quantized.quantize_images(images)
+    plain = pipe.encoder.encode(pixels)
+    if node.attrs.get("scalar_encrypt"):
+        return pipe.encryptor.encrypt_scalar(plain)
+    return pipe.encryptor.encrypt(plain)
+
+
+def _crossing(pipe, node: ir.GraphNode, conv):
+    q = pipe.quantized
+    shape = conv.batch_shape
+    total = int(np.prod(shape)) if shape else 0
+    cap = int(node.attrs.get("pack_max_batch", 0))
+    if not node.attrs.get("packed") or cap < 2 or total < 2:
+        return pipe._activation_pool(conv)
+    # Physical packing work is accounted by the simulated clock, not the
+    # logical op tally (same convention as the SIMD scheduler's packing).
+    pack_evaluator = getattr(pipe, "_graph_pack_evaluator", None)
+    if pack_evaluator is None:
+        pack_evaluator = Evaluator(pipe.context)
+        pipe._graph_pack_evaluator = pack_evaluator
+    cache = None
+    if node.attrs.get("hoist_pack_operand"):
+        cache = getattr(pipe, "_graph_pack_cache", None)
+        if cache is None:
+            cache = {}
+            pipe._graph_pack_cache = cache
+    # Flatten the whole feature-map tensor and fold runs of ``chunk``
+    # values into single ciphertexts' coefficients: ciphertext ``j``
+    # carries flat values ``j * chunk ..`` (tail ciphertext shorter).
+    tail = conv.data.shape[-3:]
+    flat = conv.data.reshape(total, *tail)
+    chunk = min(cap, conv.context.poly_degree, total)
+    full, remainder = divmod(total, chunk)
+    parts = []
+    if full:
+        main = np.ascontiguousarray(
+            np.moveaxis(flat[: full * chunk].reshape(full, chunk, *tail), 1, 0)
+        )
+        packed = pack_coefficients(
+            pack_evaluator,
+            Ciphertext(conv.context, main, is_ntt=True),
+            operand_cache=cache,
+        )
+        parts.append(packed.data)
+    if remainder:
+        packed = pack_coefficients(
+            pack_evaluator,
+            Ciphertext(conv.context, flat[full * chunk :], is_ntt=True),
+            operand_cache=cache,
+        )
+        parts.append(packed.data.reshape(1, *tail))
+    payload = Ciphertext(
+        conv.context,
+        parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0),
+        is_ntt=True,
+    )
+    return pipe.enclave.ecall(
+        "activation_pool_packed",
+        payload,
+        tuple(int(s) for s in shape),
+        chunk,
+        q.conv_output_scale,
+        q.act_scale,
+        q.pool_window,
+        pipe.activation,
+        q.pool,
+    )
+
+
+def run(pipe, graph: ir.InferenceGraph, images: np.ndarray):
+    """Walk ``graph`` on ``pipe``; returns ``(logits, budget, logits_ct)``."""
+    stage = pipe._stage if hasattr(pipe, "_stage") else pipe.tracer.stage
+    value = None
+    logits = None
+    logits_ct = None
+    budget = None
+    for node in graph.nodes:
+        if node.op == "encrypt":
+            with stage(node.stage):
+                value = _encrypt(pipe, node, images)
+        elif node.op == "conv":
+            with stage(node.stage):
+                value = heops.he_conv2d(
+                    pipe.evaluator,
+                    pipe.encoder,
+                    value,
+                    pipe.conv_weights,
+                    plan=_layer_plan(node),
+                )
+        elif node.op == "crossing":
+            # The stage span measures host wall time *exclusively*, so the
+            # per-pixel mode's slicing/reassembly around its ECALLs is
+            # charged here without double-counting the in-enclave compute.
+            with stage(node.stage):
+                value = _crossing(pipe, node, value)
+        elif node.op == "square":
+            with stage(node.stage):
+                if node.attrs.get("hoist_coeff"):
+                    hoisted = value.to_coeff()
+                    value = pipe.evaluator.multiply(hoisted, hoisted)
+                else:
+                    value = heops.he_square(pipe.evaluator, value)
+        elif node.op == "relinearize":
+            with stage(node.stage):
+                value = pipe.evaluator.relinearize(value, pipe._relin_keys)
+        elif node.op == "pool":
+            with stage(node.stage):
+                value = heops.he_scaled_mean_pool(
+                    pipe.evaluator, value, pipe.quantized.pool_window
+                )
+        elif node.op == "fc":
+            with stage(node.stage):
+                value = heops.he_dense(
+                    pipe.evaluator,
+                    pipe.encoder,
+                    value,
+                    pipe.dense_weights,
+                    plan=_layer_plan(node),
+                )
+            logits_ct = value
+        elif node.op == "decrypt":
+            budget = pipe.decryptor.invariant_noise_budget(logits_ct)
+            with stage(node.stage):
+                logits = decrypt_scalar_values(pipe.decryptor, pipe.encoder, logits_ct)
+        else:
+            raise PipelineError(f"graph executor cannot run node {node.op!r}")
+    return logits, budget, logits_ct

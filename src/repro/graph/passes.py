@@ -1,0 +1,323 @@
+"""Rewrite passes for the inference-graph IR.
+
+Every pass follows the same contract:
+
+* ``run(graph)`` mutates the graph in place and returns ``None`` when it
+  fired, or a human-readable *refusal reason* when its preconditions do
+  not hold.  Refusing is the normal path, not an error — e.g.
+  ``fold_bias`` refuses whenever the int64 deferred-reduction slack of the
+  fused scalar contraction cannot absorb one extra residue term, because
+  firing would silently push the runtime off the fast path.
+* Passes only rewrite ``attrs`` (and re-run :func:`repro.graph.ir.annotate`
+  when a rewrite changes noise behaviour); the executor owns the actual
+  ciphertext work.  Each rewrite is exact — the optimized execution must
+  stay bit-identical to the reference graph — so a pass that can only
+  *approximately* preserve results must refuse instead.
+* Passes are idempotent: running one twice leaves the graph unchanged.
+
+``select_parameters`` is advisory: it records the smallest ``(n, q)``
+that fits the graph's measured noise consumption in
+``meta["parameter_advice"]`` rather than re-keying the live pipeline,
+because swapping parameters mid-flight would (by design) break byte
+identity with the reference execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphPassError, ParameterError
+from repro.graph import ir
+from repro.he import modmath
+from repro.he.noise import NoiseEstimator
+from repro.he.params import EncryptionParams
+
+_INT64_MAX = np.iinfo(np.int64).max
+_PRIME_BITS = 30
+_SELECT_DEGREES = (256, 512, 1024, 2048, 4096)
+_SELECT_MARGIN_BITS = 8.0
+_MAX_SELECT_PRIMES = 12
+
+
+@dataclass(frozen=True)
+class GraphPass:
+    """Base pass; ``margin_bits`` is the safety margin noise-sensitive
+    rewrites must leave untouched (8.0 at ``safe``, 0.0 at ``aggressive``)."""
+
+    margin_bits: float = 8.0
+
+    name = "abstract"
+
+    def run(self, graph: ir.InferenceGraph) -> str | None:
+        raise NotImplementedError
+
+
+def _fold_slack_ok(weights: np.ndarray, p_max: int) -> bool:
+    """Mirror of ``repro.core.heops._scalar_tap_bound_ok`` with ``slack=1``:
+    can the deferred-reduction accumulator absorb one extra canonical
+    residue term (the folded bias) without overflowing int64?"""
+    if weights.size == 0:
+        return False
+    terms = weights.shape[-1]
+    w_max = int(np.abs(weights).max())
+    return (terms * w_max + 1) * (p_max - 1) <= _INT64_MAX
+
+
+class ZeroTapBypass(GraphPass):
+    """Plaintext bypass for known-zero operands.
+
+    Drops conv taps whose weight column is zero across every filter and FC
+    input dimensions whose weight row is zero across every class: a
+    zero-weight plaintext multiply contributes exactly zero to the fused
+    accumulator, so skipping it is exact.  (The identity-operand case is
+    degenerate here — a tap of weight 1 is already a single fused int64
+    multiply-accumulate, so there is nothing cheaper to rewrite it to.)
+    """
+
+    name = "zero_tap"
+
+    def run(self, graph: ir.InferenceGraph) -> str | None:
+        fired = False
+        conv = graph.node("conv")
+        taps = graph.meta["conv_tap_matrix"]
+        keep = tuple(int(t) for t in range(taps.shape[1]) if np.any(taps[:, t]))
+        if len(keep) < taps.shape[1]:
+            conv.attrs["keep_taps"] = keep
+            fired = True
+        fc = graph.node("fc")
+        fc_matrix = graph.meta["fc_matrix"]
+        keep_fc = tuple(int(d) for d in range(fc_matrix.shape[0]) if np.any(fc_matrix[d]))
+        if len(keep_fc) < fc_matrix.shape[0]:
+            fc.attrs["keep_taps"] = keep_fc
+            fired = True
+        if not fired:
+            return "no zero-weight conv taps or FC input dims to bypass"
+        ir.annotate(graph)
+        return None
+
+
+class FoldBias(GraphPass):
+    """Fold the encoded bias operand into the fused contraction.
+
+    The reference path runs the contraction, reduces mod each prime, then
+    performs a separate ``add_plain_operand``.  Folding adds the bias's
+    NTT residues into the still-unreduced int64 accumulator instead,
+    saving one full pass over the ciphertext.  Exact because
+    ``(acc + bias) mod p == (acc mod p + bias) mod p``; refuses when the
+    int64 slack bound cannot absorb the extra canonical residue term,
+    since firing would push the runtime off the scalar fast path.
+    """
+
+    name = "fold_bias"
+
+    def run(self, graph: ir.InferenceGraph) -> str | None:
+        p_max = graph.meta["p_max"]
+        fired = False
+        refused = []
+        conv = graph.node("conv")
+        taps = graph.meta["conv_tap_matrix"]
+        keep = conv.attrs.get("keep_taps")
+        cols = taps[:, list(keep)] if keep is not None else taps
+        if _fold_slack_ok(cols, p_max):
+            conv.attrs["fold_bias"] = True
+            fired = True
+        else:
+            refused.append("conv")
+        fc = graph.node("fc")
+        fc_matrix = graph.meta["fc_matrix"]
+        keep_fc = fc.attrs.get("keep_taps")
+        rows = fc_matrix[list(keep_fc), :] if keep_fc is not None else fc_matrix
+        if _fold_slack_ok(rows.T, p_max):
+            fc.attrs["fold_bias"] = True
+            fired = True
+        else:
+            refused.append("fc")
+        if not fired:
+            return (
+                "int64 deferred-reduction slack excludes bias folding "
+                f"({', '.join(refused)})"
+            )
+        return None
+
+
+class PackCrossing(GraphPass):
+    """Fold the flattened feature-map tensor into polynomial coefficients
+    at the enclave crossing: runs of up to ``pack_max_batch`` values share
+    one ciphertext, shrinking the inbound crossing payload (bytes crossed
+    and trusted-side decrypts) from one ciphertext per value to
+    ``ceil(N / chunk)`` ciphertexts.
+
+    Packing costs up to ``log2(chunk)`` bits of noise budget (the monomial
+    shift-and-sum), so the pass caps ``chunk`` at what the conv layer's
+    remaining budget can absorb above ``margin_bits`` (and at the ring
+    degree) and refuses when even ``chunk = 2`` does not fit.  Also refuses
+    for pure-HE graphs (no crossing) and the per-pixel negative control
+    (each crossing carries a single value; there is nothing to fold).
+    """
+
+    name = "pack_crossing"
+
+    def run(self, graph: ir.InferenceGraph) -> str | None:
+        if not graph.has_node("crossing"):
+            return "no enclave crossing to pack in a pure-HE graph"
+        if graph.meta.get("mode") == "per_pixel":
+            return "per-pixel crossings carry one value each; nothing to fold"
+        conv = graph.node("conv")
+        crossing = graph.node("crossing")
+        headroom = conv.budget_bits - self.margin_bits
+        cap = int(min(graph.params.poly_degree, 2.0 ** min(max(headroom, 0.0), 30.0)))
+        if cap < 2:
+            return (
+                f"conv leaves {conv.budget_bits:.1f} budget bits; packing needs "
+                f"log2(B) above the {self.margin_bits:.1f}-bit margin"
+            )
+        crossing.attrs["packed"] = True
+        crossing.attrs["pack_max_batch"] = cap
+        return None
+
+
+class HoistNtt(GraphPass):
+    """Hoist shared NTT-domain transforms out of repeated work.
+
+    CryptoNets: ``square`` multiplies a ciphertext by itself, and the
+    evaluator INTTs each operand independently — hoisting the coefficient
+    transform computes it once and feeds both operand slots (exact: the
+    transform of the same data is the same data).  Hybrid: the packed
+    crossing rebuilds the same monomial packing operand (an NTT of a
+    constant matrix) every inference — hoisting caches the transformed
+    operand across calls; refuses when ``pack_crossing`` did not fire
+    because the unpacked crossing performs no shared transform.
+    """
+
+    name = "hoist_ntt"
+
+    def run(self, graph: ir.InferenceGraph) -> str | None:
+        if graph.has_node("square"):
+            graph.node("square").attrs["hoist_coeff"] = True
+            return None
+        crossing = graph.node("crossing")
+        if not crossing.attrs.get("packed"):
+            return "pack_crossing did not fire; no shared packing transform to hoist"
+        crossing.attrs["hoist_pack_operand"] = True
+        return None
+
+
+class ScalarEncrypt(GraphPass):
+    """Use the scalar-encoding encrypt fast path.
+
+    Both pipelines scalar-encode inputs (only the constant coefficient is
+    populated), so ``Delta * m`` touches one residue column instead of all
+    ``n`` — same RNG draws, same arithmetic, bit-identical ciphertexts.
+    The runtime re-checks the encoding and falls back to the full path for
+    any plaintext with higher-degree coefficients.
+    """
+
+    name = "scalar_encrypt"
+
+    def run(self, graph: ir.InferenceGraph) -> str | None:
+        graph.node("encrypt").attrs["scalar_encrypt"] = True
+        return None
+
+
+class SelectParameters(GraphPass):
+    """Depth-aware automatic FV parameter selection (advisory).
+
+    Scans ``(n, q)`` candidates smallest-first and records the first whose
+    noise budget fits the graph's measured consumption with an 8-bit
+    margin in ``meta["parameter_advice"]``.  Never rewrites the execution
+    — re-keying would break byte identity with the reference graph — and
+    refuses when no candidate fits.
+    """
+
+    name = "select_parameters"
+
+    def run(self, graph: ir.InferenceGraph) -> str | None:
+        advice = select_parameters(graph)
+        if advice is None:
+            return "no (n, q) candidate clears the graph's measured noise consumption"
+        graph.meta["parameter_advice"] = advice
+        return None
+
+
+def select_parameters(
+    graph: ir.InferenceGraph, margin_bits: float = _SELECT_MARGIN_BITS
+) -> EncryptionParams | None:
+    """Smallest ``(n, q)`` whose budget fits the graph's consumption."""
+    bound = graph.meta["plain_bound"]
+    for degree in _SELECT_DEGREES:
+        plain_modulus = _plain_modulus_for(bound, degree, graph.meta["pure_he"])
+        if plain_modulus is None:
+            continue
+        for count in range(1, _MAX_SELECT_PRIMES + 1):
+            try:
+                primes = tuple(modmath.ntt_primes(_PRIME_BITS, degree, count))
+                params = EncryptionParams(
+                    poly_degree=degree,
+                    coeff_primes=primes,
+                    plain_modulus=plain_modulus,
+                    name=f"graph_auto_n{degree}_k{count}",
+                )
+            except ParameterError:
+                continue
+            if _graph_fits(graph, NoiseEstimator(params), margin_bits):
+                return params
+    return None
+
+
+def _plain_modulus_for(bound: int, degree: int, pure_he: bool) -> int | None:
+    t = 1 << max(2, int(bound - 1).bit_length())
+    if not pure_he:
+        return t
+    # Pure-HE squaring needs t to stay a power of two here too (the
+    # pipelines scalar-encode), but give up if t would swamp the primes.
+    return t if t < (1 << _PRIME_BITS) else None
+
+
+def _graph_fits(graph: ir.InferenceGraph, estimator: NoiseEstimator, margin: float) -> bool:
+    fresh = estimator.fresh_budget()
+    worst = 0.0
+    segment = 0.0
+    for node in graph.nodes:
+        if node.op in ("encrypt", "crossing"):
+            # Fresh encryption on either side of the crossing resets noise,
+            # so each HE segment must fit on its own.
+            worst = max(worst, segment)
+            segment = 0.0
+        else:
+            segment += ir.node_noise_cost(node, graph, estimator)
+    worst = max(worst, segment)
+    return fresh - worst >= margin
+
+
+PASSES: dict[str, type[GraphPass]] = {
+    ZeroTapBypass.name: ZeroTapBypass,
+    FoldBias.name: FoldBias,
+    PackCrossing.name: PackCrossing,
+    HoistNtt.name: HoistNtt,
+    ScalarEncrypt.name: ScalarEncrypt,
+    SelectParameters.name: SelectParameters,
+}
+
+# Canonical execution order: selection only picks *which* passes run; the
+# compiler always sequences them in dependency order (hoist_ntt reads
+# pack_crossing's rewrite, fold_bias reads zero_tap's surviving taps) so
+# that compilation is order-independent and idempotent.
+PASS_ORDER: tuple[str, ...] = (
+    ZeroTapBypass.name,
+    FoldBias.name,
+    PackCrossing.name,
+    HoistNtt.name,
+    ScalarEncrypt.name,
+    SelectParameters.name,
+)
+
+
+def build(name: str, margin_bits: float) -> GraphPass:
+    cls = PASSES.get(name)
+    if cls is None:
+        raise GraphPassError(f"unknown graph pass {name!r}")
+    if name == SelectParameters.name:
+        return cls(margin_bits=_SELECT_MARGIN_BITS)
+    return cls(margin_bits=margin_bits)

@@ -104,7 +104,9 @@ class BatchEncoder:
         return np.moveaxis(slots[0], -1, 0)[:batch]
 
 
-def pack_coefficients(evaluator: "Evaluator", ct: Ciphertext) -> Ciphertext:
+def pack_coefficients(
+    evaluator: "Evaluator", ct: Ciphertext, operand_cache: dict | None = None
+) -> Ciphertext:
     """Fold a ciphertext's leading batch axis into polynomial *coefficients*.
 
     Given scalar-encoded ciphertexts stacked along axis 0 (``(B, *rest)``,
@@ -120,6 +122,11 @@ def pack_coefficients(evaluator: "Evaluator", ct: Ciphertext) -> Ciphertext:
     ``log2(B)`` bits (monomial coefficients are 1), which a fresh encryption
     easily absorbs.
 
+    ``operand_cache`` (optional) memoizes the transformed monomial operand
+    across calls keyed by ``B`` -- the transform is a deterministic NTT of
+    a constant matrix, so reuse is bit-identical (the graph optimizer's
+    ``hoist_ntt`` pass threads a per-pipeline dict through here).
+
     Raises:
         EncodingError: no batch axis, or ``B`` exceeds the ring degree.
     """
@@ -129,9 +136,13 @@ def pack_coefficients(evaluator: "Evaluator", ct: Ciphertext) -> Ciphertext:
     n = ct.context.poly_degree
     if b > n:
         raise EncodingError(f"batch of {b} exceeds the ring degree {n}")
-    monomials = np.zeros((b, n), dtype=np.int64)
-    monomials[np.arange(b), np.arange(b)] = 1
-    operand = evaluator.transform_plain(Plaintext(ct.context, monomials))
+    operand = operand_cache.get(b) if operand_cache is not None else None
+    if operand is None:
+        monomials = np.zeros((b, n), dtype=np.int64)
+        monomials[np.arange(b), np.arange(b)] = 1
+        operand = evaluator.transform_plain(Plaintext(ct.context, monomials))
+        if operand_cache is not None:
+            operand_cache[b] = operand
     # Broadcast the (B,)-batched monomial operand over the remaining axes.
     ntt = operand.ntt_data.reshape(
         b, *([1] * (len(ct.batch_shape) - 1)), *operand.ntt_data.shape[-2:]

@@ -62,6 +62,43 @@ class Encryptor:
         data = np.stack([c0, c1], axis=-3)
         return Ciphertext(self.context, data, is_ntt=True)
 
+    def encrypt_scalar(self, plain: Plaintext) -> Ciphertext:
+        """Encrypt a scalar-encoded (constant-polynomial) plaintext batch.
+
+        Bit-identical to :meth:`encrypt` -- same RNG draws, same output
+        bytes -- but ``Delta m`` is computed on the constant-coefficient
+        column alone instead of materializing the full degree-``n``
+        residue array, which is all a scalar encoding populates.  Falls
+        back to :meth:`encrypt` when any higher coefficient is nonzero.
+        """
+        self.context.check_same(plain.context)
+        if plain.coeffs[..., 1:].any():
+            return self.encrypt(plain)
+        ring = self.context.ring
+        params = self.context.params
+        batch = plain.batch_shape
+        ternary = ring.sample_ternary(self.rng, *batch)
+        e1 = ring.sample_noise(self.rng, params.noise_stddev, *batch)
+        e2 = ring.sample_noise(self.rng, params.noise_stddev, *batch)
+        # Column 0 of the full path's mul_scalar(from_int_coeffs(.), Delta);
+        # every other column of Delta m is zero, and adding zero leaves e1's
+        # canonical residues untouched under either kernel profile.
+        p_col = ring.primes.reshape(-1, 1)
+        const = plain.coeffs[..., :1][..., None, :] % p_col
+        delta_m0 = (const * ring.scalar_residues(params.delta)) % p_col
+        e1[..., :1] = ring.add(e1[..., :1], delta_m0)
+        if kernels.active().stacked_ntt:
+            fx = ring.ntt(np.stack([ternary, e1, e2]))
+            u, t1, t2 = fx[0], fx[1], fx[2]
+        else:
+            u = ring.ntt(ternary)
+            t1 = ring.ntt(e1)
+            t2 = ring.ntt(e2)
+        c0 = ring.add(ring.pointwise_mul(self.public_key.p0_ntt, u), t1)
+        c1 = ring.add(ring.pointwise_mul(self.public_key.p1_ntt, u), t2)
+        data = np.stack([c0, c1], axis=-3)
+        return Ciphertext(self.context, data, is_ntt=True)
+
     def encrypt_zero(self, *batch_shape: int) -> Ciphertext:
         """Fresh encryption of zero (useful for refresh and padding)."""
         zeros = Plaintext(

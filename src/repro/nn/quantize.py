@@ -256,14 +256,27 @@ class QuantizedCNN:
         return plain_modulus >= self.required_plain_modulus()
 
     def noise_profile(self) -> tuple[bool, float, int]:
-        """``(pure_he, plain_norm, additions)`` for parameter sizing."""
+        """``(pure_he, plain_norm, additions)`` for parameter sizing.
+
+        The additions term follows the per-layer convention of
+        ``NoiseEstimator.layer_headroom``: the hybrid pipeline's enclave
+        refresh resets noise between the conv and FC layers, so only the
+        widest single layer counts, while the pure-HE pipeline carries the
+        conv fan-in through the window sum into every FC term within one
+        encrypted circuit.  The norm covers both weight layers (the FC
+        weights are plaintext multiplicands too).
+        """
         k = self.conv_weight.shape[-1]
         taps = k * k * self.conv_weight.shape[1]
-        return (
-            self.activation == "square",
-            float(max(1, np.abs(self.conv_weight).max())),
-            taps * self.dense_weight.shape[0],
+        fc_terms = self.dense_weight.shape[0]
+        norm = float(
+            max(1, np.abs(self.conv_weight).max(), np.abs(self.dense_weight).max())
         )
+        if self.activation == "square":
+            additions = taps * self.pool_window**2 * fc_terms
+        else:
+            additions = max(taps, fc_terms)
+        return (self.activation == "square", norm, additions)
 
 
 def _destructure(model: Sequential) -> tuple[Conv2D, object, object, Dense]:

@@ -86,6 +86,22 @@ def _parallel_report(ratio_4x=1.8, byte_identical=True):
     }
 
 
+def _graph_report(speedup_safe=1.8, bit_identical=True):
+    return {
+        "config": {"mode": "smoke"},
+        "hybrid": {
+            "speedup_safe": speedup_safe,
+            "speedup_aggressive": speedup_safe * 1.05,
+            "safe_simulated_s": 0.17 / speedup_safe,
+        },
+        "cryptonets": {"speedup_safe": 1.0},
+        "invariants": {
+            "bit_identical": bit_identical,
+            "speedup_floor": speedup_safe >= 1.3,
+        },
+    }
+
+
 def _write_pair(
     directory: Path,
     hotpath: dict,
@@ -93,6 +109,7 @@ def _write_pair(
     slo: dict | None = None,
     fleet: dict | None = None,
     parallel: dict | None = None,
+    graph: dict | None = None,
 ) -> None:
     directory.mkdir(parents=True, exist_ok=True)
     (directory / "BENCH_hotpath.json").write_text(json.dumps(hotpath))
@@ -105,6 +122,9 @@ def _write_pair(
     )
     (directory / "BENCH_parallel.json").write_text(
         json.dumps(parallel if parallel is not None else _parallel_report())
+    )
+    (directory / "BENCH_graph.json").write_text(
+        json.dumps(graph if graph is not None else _graph_report())
     )
 
 
@@ -187,7 +207,9 @@ class TestBenchGate:
         _gate(tmp_path / "base", tmp_path / "cur", "--report", str(report))
         doc = json.loads(report.read_text())
         assert doc["ok"] is True
-        assert set(doc["benches"]) == {"hotpath", "serving", "slo", "fleet", "parallel"}
+        assert set(doc["benches"]) == {
+            "hotpath", "serving", "slo", "fleet", "parallel", "graph"
+        }
 
     def test_slo_invariant_violation_fails(self, tmp_path):
         _write_pair(tmp_path / "base", _hotpath_report(), _serving_report())
@@ -239,6 +261,28 @@ class TestBenchGate:
         _write_pair(
             tmp_path / "cur", _hotpath_report(), _serving_report(),
             parallel=_parallel_report(ratio_4x=1.4),
+        )
+        proc = _gate(tmp_path / "base", tmp_path / "cur")
+        assert proc.returncode == 1
+        assert "invariants.speedup_floor" in proc.stdout
+
+    def test_graph_bit_identity_violation_fails(self, tmp_path):
+        _write_pair(tmp_path / "base", _hotpath_report(), _serving_report())
+        _write_pair(
+            tmp_path / "cur", _hotpath_report(), _serving_report(),
+            graph=_graph_report(bit_identical=False),
+        )
+        proc = _gate(tmp_path / "base", tmp_path / "cur")
+        assert proc.returncode == 1
+        assert "invariants.bit_identical" in proc.stdout
+
+    def test_graph_speedup_floor_violation_fails(self, tmp_path):
+        """The 1.3x hybrid-safe floor is a hard invariant: a current run
+        below it fails even when the ratio drop is inside --tolerance."""
+        _write_pair(tmp_path / "base", _hotpath_report(), _serving_report())
+        _write_pair(
+            tmp_path / "cur", _hotpath_report(), _serving_report(),
+            graph=_graph_report(speedup_safe=1.2),
         )
         proc = _gate(tmp_path / "base", tmp_path / "cur")
         assert proc.returncode == 1

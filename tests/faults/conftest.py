@@ -21,6 +21,7 @@ from repro.core import (
     parameters_for_pipeline,
     train_paper_models,
 )
+from repro.graph import optimizer as graph_optimizer
 from repro.he import kernels
 from repro.sgx import AttestationVerificationService
 
@@ -35,12 +36,14 @@ def chaos_seeds() -> tuple[int, ...]:
 
 @pytest.fixture(autouse=True)
 def pristine_fault_state():
-    """Disarm + reset kernels around every test in this package."""
+    """Disarm + reset kernels + graph optimizer around every test here."""
     faults.disarm()
     kernels.configure(kernels.FUSED)
+    graph_optimizer.configure(None)
     yield
     faults.disarm()
     kernels.configure(kernels.FUSED)
+    graph_optimizer.configure(None)
 
 
 @pytest.fixture(scope="session")

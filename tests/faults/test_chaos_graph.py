@@ -1,0 +1,92 @@
+"""Chaos suite: graph-optimizer pass failures mid-compile.
+
+The contract (DESIGN.md §16): a pass raising inside ``compile_graph``
+degrades the compile to the unoptimized reference graph — a
+*perturbation*, not an error.  The degraded run produces bit-identical
+logits, serialized ciphertext bytes and op tallies, the report says so,
+and the ``repro_graph_degradations_total`` metric counts it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.core import HybridPipeline
+from repro.faults import FaultPlan, FaultRule
+from repro.graph import optimizer
+from repro.he.serialize import serialize_ciphertext
+from repro.obs.metrics import use_registry
+
+from .conftest import chaos_seeds
+
+
+class TestGraphPassChaos:
+    @pytest.mark.parametrize("seed", chaos_seeds())
+    def test_pass_failure_degrades_bit_identically(
+        self, q_sigmoid, hybrid_params, test_images, seed
+    ):
+        with optimizer.use("off"):
+            ref_pipe = HybridPipeline(q_sigmoid, hybrid_params, seed=17)
+            ref = ref_pipe.infer(test_images)
+            ref_counts = dict(ref_pipe.counter.counts)
+
+        plan = FaultPlan(seed, rules=[FaultRule(site="graph.pass", max_fires=1)])
+        with use_registry() as reg:
+            with optimizer.use("safe"):
+                pipe = HybridPipeline(q_sigmoid, hybrid_params, seed=17)
+                with faults.armed(plan):
+                    res = pipe.infer(test_images)
+            flat = reg.collect().flat()
+
+        assert plan.fires("graph.pass") == 1
+        report = pipe.graph_report
+        assert report.degraded
+        # Canonical sequencing makes the first (faulted) pass deterministic.
+        assert report.failure.startswith("zero_tap")
+        assert report.label == "safe:degraded"
+        assert res.trace.attrs["graph_opt"] == "safe:degraded"
+
+        assert np.array_equal(ref.logits, res.logits)
+        assert serialize_ciphertext(ref.logits_ct) == serialize_ciphertext(
+            res.logits_ct
+        )
+        assert dict(pipe.counter.counts) == ref_counts
+        assert flat['repro_graph_degradations_total{graph_pass="zero_tap"}'] == 1.0
+
+    @pytest.mark.parametrize("seed", chaos_seeds())
+    def test_compile_recovers_after_fault_exhausted(
+        self, q_sigmoid, hybrid_params, test_images, seed
+    ):
+        """The degradation is per-compile: once the rule is exhausted, a
+        fresh pipeline compiles the optimized graph again."""
+        plan = FaultPlan(seed, rules=[FaultRule(site="graph.pass", max_fires=1)])
+        with optimizer.use("safe"):
+            with faults.armed(plan):
+                degraded = HybridPipeline(q_sigmoid, hybrid_params, seed=17)
+                first = degraded.infer(test_images)
+                healthy = HybridPipeline(q_sigmoid, hybrid_params, seed=17)
+                second = healthy.infer(test_images)
+        assert degraded.graph_report.degraded
+        assert not healthy.graph_report.degraded
+        assert "scalar_encrypt" in healthy.graph_report.applied
+        assert np.array_equal(first.logits, second.logits)
+
+    def test_named_rule_targets_one_pass(self, q_sigmoid, hybrid_params, test_images):
+        """A rule named after a later pass lets earlier passes run and
+        still degrades the whole compile (partial rewrites are discarded)."""
+        plan = FaultPlan(
+            11, rules=[FaultRule(site="graph.pass", name="scalar_encrypt", max_fires=1)]
+        )
+        with optimizer.use("safe"):
+            pipe = HybridPipeline(q_sigmoid, hybrid_params, seed=17)
+            with faults.armed(plan):
+                res = pipe.infer(test_images)
+        assert plan.fires("graph.pass") == 1
+        report = pipe.graph_report
+        assert report.degraded
+        assert report.failure.startswith("scalar_encrypt")
+        # Degradation discards everything, including passes that succeeded.
+        assert report.applied == ()
+        assert res.trace.attrs["graph_opt"] == "safe:degraded"

@@ -1,0 +1,67 @@
+"""Graph-optimizer suite fixtures.
+
+The trained tiny models are shared session-wide; each gets a planted
+all-zero conv tap column and a few all-zero FC input rows so the
+``zero_tap`` bypass has something real to fire on (the stock trained
+weights are dense).  Every test starts and ends with the process-wide
+optimizer configuration restored to the environment default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import parameters_for_pipeline, train_paper_models
+from repro.graph import optimizer as graph_optimizer
+
+
+@pytest.fixture(autouse=True)
+def pristine_optimizer():
+    """Restore the env-default optimizer level around every test here."""
+    graph_optimizer.configure(None)
+    yield
+    graph_optimizer.configure(None)
+
+
+@pytest.fixture(scope="session")
+def models():
+    return train_paper_models(
+        train_size=300, test_size=60, epochs=4, image_size=10, channels=2, kernel_size=3
+    )
+
+
+def _plant_zeros(quantized):
+    """Zero one conv tap column (all filters) and four FC input rows."""
+    conv = np.array(quantized.conv_weight)
+    conv[:, 0, 0, 0] = 0
+    dense = np.array(quantized.dense_weight)
+    dense[:4, :] = 0
+    return dataclasses.replace(quantized, conv_weight=conv, dense_weight=dense)
+
+
+@pytest.fixture(scope="session")
+def q_hybrid(models):
+    return _plant_zeros(models.quantized_sigmoid())
+
+
+@pytest.fixture(scope="session")
+def q_he(models):
+    return _plant_zeros(models.quantized_square())
+
+
+@pytest.fixture(scope="session")
+def hybrid_params(q_hybrid):
+    return parameters_for_pipeline(q_hybrid, 256)
+
+
+@pytest.fixture(scope="session")
+def he_params(q_he):
+    return parameters_for_pipeline(q_he, 256)
+
+
+@pytest.fixture(scope="session")
+def images(models):
+    return models.dataset.test_images[:2]

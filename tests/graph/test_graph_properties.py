@@ -1,0 +1,137 @@
+"""Property-style tests over seeded random graphs.
+
+Pure compiler-level checks (no ciphertexts): random tiny quantized models
+— including planted zero / identity / constant operands — and random pass
+selections in random orderings must give an idempotent, order-independent
+compiler that never grows the graph or its estimated noise consumption,
+and whose parameter advice always leaves positive per-layer headroom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import parameters_for_pipeline
+from repro.errors import ParameterError
+from repro.graph import ir
+from repro.graph.optimizer import PASS_PORTFOLIO, compile_graph
+from repro.graph.passes import PASS_ORDER, select_parameters
+from repro.he.noise import NoiseEstimator
+from repro.nn.quantize import QuantizedCNN
+
+SEEDS = range(12)
+
+
+def _random_model(rng: np.random.Generator) -> QuantizedCNN:
+    """A tiny random QuantizedCNN; weights may contain planted structure."""
+    pure_he = bool(rng.integers(2))
+    channels = int(rng.integers(1, 3))
+    filters = int(rng.integers(1, 3))
+    k = int(rng.choice([2, 3]))
+    image = int(rng.integers(k + 2, k + 5))
+    out = image - k + 1
+    window = 2 if out % 2 == 0 else 1
+    flat_dim = filters * (out // window) ** 2
+    conv = rng.integers(-4, 5, size=(filters, channels, k, k))
+    dense = rng.integers(-4, 5, size=(flat_dim, 3))
+    structure = rng.integers(4)
+    if structure == 1:  # planted zero operands
+        conv[:, 0, 0, 0] = 0
+        dense[: max(1, flat_dim // 4), :] = 0
+    elif structure == 2:  # identity-ish taps (degenerate for zero_tap)
+        conv[...] = 0
+        conv[:, 0, 0, 0] = 1
+    elif structure == 3:  # constant operands
+        conv[...] = 2
+        dense[...] = 1
+    return QuantizedCNN(
+        conv_weight=conv,
+        conv_bias=rng.integers(-3, 4, size=(filters,)),
+        dense_weight=dense,
+        dense_bias=rng.integers(-3, 4, size=(3,)),
+        input_scale=15,
+        conv_weight_scale=4.0,
+        dense_weight_scale=4.0,
+        act_scale=15,
+        activation="square" if pure_he else "sigmoid",
+        pool="scaled_mean" if pure_he else "mean",
+        pool_window=window,
+    )
+
+
+def _random_graph(seed: int):
+    rng = np.random.default_rng(1000 + seed)
+    quantized = _random_model(rng)
+    try:
+        params = parameters_for_pipeline(quantized, 256)
+    except ParameterError:
+        pytest.skip("random model does not fit n=256 parameters")
+    if quantized.activation == "square":
+        graph = ir.build_cryptonets_graph(quantized, params)
+    else:
+        mode = str(rng.choice(["batched", "per_pixel", "fake"]))
+        graph = ir.build_hybrid_graph(quantized, params, mode=mode)
+    level = str(rng.choice(["safe", "aggressive"]))
+    pool = PASS_PORTFOLIO[level]
+    size = int(rng.integers(1, len(pool) + 1))
+    passes = tuple(rng.permutation(pool)[:size])
+    return quantized, graph, level, passes, rng
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestCompilerProperties:
+    def test_idempotent(self, seed):
+        _, graph, level, passes, _ = _random_graph(seed)
+        once, _ = compile_graph(graph, level=level, passes=passes)
+        twice, _ = compile_graph(once, level=level, passes=passes)
+        assert once.signature() == twice.signature()
+
+    def test_order_independent(self, seed):
+        _, graph, level, passes, rng = _random_graph(seed)
+        shuffled = tuple(rng.permutation(passes))
+        a, report_a = compile_graph(graph, level=level, passes=passes)
+        b, report_b = compile_graph(graph, level=level, passes=shuffled)
+        assert a.signature() == b.signature()
+        assert report_a.applied == report_b.applied
+        assert list(report_a.applied) == sorted(
+            report_a.applied, key=PASS_ORDER.index
+        )
+
+    def test_never_grows(self, seed):
+        _, graph, level, passes, _ = _random_graph(seed)
+        compiled, _ = compile_graph(graph, level=level, passes=passes)
+        assert compiled.node_count <= graph.node_count
+        assert (
+            compiled.he_noise_consumption()
+            <= graph.he_noise_consumption() + 1e-9
+        )
+
+    def test_input_graph_not_mutated(self, seed):
+        _, graph, level, passes, _ = _random_graph(seed)
+        before = graph.signature()
+        compile_graph(graph, level=level, passes=passes)
+        assert graph.signature() == before
+
+    def test_packing_respects_margin(self, seed):
+        _, graph, level, passes, _ = _random_graph(seed)
+        compiled, report = compile_graph(graph, level=level, passes=passes)
+        if "pack_crossing" not in report.applied:
+            return
+        crossing = compiled.node("crossing")
+        cap = crossing.attrs["pack_max_batch"]
+        assert cap >= 2
+        margin = 0.0 if level == "aggressive" else 8.0
+        conv = compiled.node("conv")
+        assert conv.budget_bits - np.log2(cap) >= margin - 1e-6
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_parameter_advice_leaves_headroom(seed):
+    quantized, graph, _, _, _ = _random_graph(seed)
+    advice = select_parameters(graph)
+    if advice is None:
+        pytest.skip("no candidate fits this random graph")
+    headroom = NoiseEstimator(advice).layer_headroom(quantized)
+    assert all(v > 0 for v in headroom.values()), headroom
+    assert advice.plain_modulus >= quantized.required_plain_modulus()

@@ -110,3 +110,80 @@ class TestRefreshFreeDepthLimit:
         estimated = estimator.fresh_budget()
         assert estimated <= measured  # upper-bound noise => conservative budget
         assert measured - estimated <= 15.0
+
+
+def _toy_model(activation: str) -> "QuantizedCNN":
+    from repro.nn.quantize import QuantizedCNN
+
+    rng = np.random.default_rng(99)
+    conv = rng.integers(-5, 6, size=(2, 2, 3, 3))
+    dense = rng.integers(-7, 8, size=(32, 3))
+    dense[0, 0] = 7  # pin the norm to the dense layer
+    return QuantizedCNN(
+        conv_weight=conv,
+        conv_bias=np.zeros(2, dtype=np.int64),
+        dense_weight=dense,
+        dense_bias=np.zeros(3, dtype=np.int64),
+        input_scale=15,
+        conv_weight_scale=5.0,
+        dense_weight_scale=7.0,
+        act_scale=15,
+        activation=activation,
+        pool="scaled_mean" if activation == "square" else "mean",
+        pool_window=2,
+    )
+
+
+class TestNoiseProfileAccounting:
+    """Regression for the latent ``QuantizedCNN.noise_profile`` bug: the
+    profile under-counted the conv fan-in (it read only one spatial axis)
+    and ignored the dense weights entirely, so parameter sizing could
+    hand out too little budget.  Pins the corrected convention against
+    ``NoiseEstimator.layer_headroom`` and the graph IR annotations."""
+
+    def test_hybrid_counts_widest_single_layer(self):
+        q = _toy_model("sigmoid")
+        pure_he, norm, additions = q.noise_profile()
+        assert not pure_he
+        # conv fan-in = k*k*in_channels = 18; fc fan-in = 32; the enclave
+        # refresh between them means only the widest layer counts.
+        assert additions == 32
+        assert norm == 7.0  # max over BOTH weight layers, not just conv
+
+    def test_pure_he_carries_fanin_through_the_circuit(self):
+        q = _toy_model("square")
+        pure_he, norm, additions = q.noise_profile()
+        assert pure_he
+        # One encrypted circuit: conv taps (18) x pool window sum (4) x fc
+        # terms (32), no refresh anywhere to reset the accumulation.
+        assert additions == 18 * 4 * 32
+        assert norm == 7.0
+
+    def test_profile_matches_layer_headroom_convention(self):
+        """The hybrid profile must describe the same worst layer the
+        estimator's per-layer headroom uses, so ``parameters_for_pipeline``
+        sizes for exactly that layer."""
+        from repro.core import parameters_for_pipeline
+
+        q = _toy_model("sigmoid")
+        params = parameters_for_pipeline(q, 256)
+        estimator = NoiseEstimator(params)
+        _, norm, additions = q.noise_profile()
+        headroom = estimator.layer_headroom(q)
+        worst = min(headroom.values())
+        sized = estimator.budget_after(
+            plain_multiplies=1, plain_norm=norm, additions=additions
+        )
+        assert sized == pytest.approx(worst)
+        assert worst > 0
+
+    def test_graph_ir_budgets_agree_with_layer_headroom(self):
+        from repro.core import parameters_for_pipeline
+        from repro.graph import ir
+
+        q = _toy_model("sigmoid")
+        params = parameters_for_pipeline(q, 256)
+        graph = ir.build_hybrid_graph(q, params)
+        headroom = NoiseEstimator(params).layer_headroom(q)
+        assert graph.node("conv").budget_bits == pytest.approx(headroom["conv"])
+        assert graph.node("fc").budget_bits == pytest.approx(headroom["fc"])

@@ -37,6 +37,8 @@ Refreshing baselines (after an intentional performance change)::
         --out benchmarks/baselines/BENCH_fleet.json
     python benchmarks/bench_parallel_scaling.py --smoke --min-speedup 1.0 \
         --out benchmarks/baselines/BENCH_parallel.json
+    python benchmarks/bench_graph_optimizer.py --smoke --min-speedup 1.0 \
+        --out benchmarks/baselines/BENCH_graph.json
 """
 
 from __future__ import annotations
@@ -131,6 +133,18 @@ BENCHES: dict[str, dict] = {
             MetricSpec("invariants.all_tickets_resolved", "invariant"),
             MetricSpec("invariants.chaos_recovered", "invariant"),
             MetricSpec("invariants.chaos_byte_identical", "invariant"),
+        ),
+    },
+    "graph": {
+        "file": "BENCH_graph.json",
+        "script": "benchmarks/bench_graph_optimizer.py",
+        "metrics": (
+            MetricSpec("hybrid.speedup_safe", "ratio"),
+            MetricSpec("hybrid.speedup_aggressive", "ratio"),
+            MetricSpec("cryptonets.speedup_safe", "ratio"),
+            MetricSpec("hybrid.safe_simulated_s", "timing"),
+            MetricSpec("invariants.bit_identical", "invariant"),
+            MetricSpec("invariants.speedup_floor", "invariant"),
         ),
     },
 }
