@@ -38,6 +38,7 @@ from repro.core import (
     build_pipeline,
     train_paper_models,
 )
+from repro.obs import render_timeline, resolve_trace_ids
 from repro.serve import InferenceRequest
 from repro.sgx import AttestationVerificationService
 
@@ -122,6 +123,18 @@ def main() -> None:
           f"({victim.state.value}, pin unchanged)")
     print(f"   survivor replica {after.replica} logits bit-identical: "
           f"{np.array_equal(victim.decrypt_logits(after), before)}")
+
+    print("\n== Telemetry: the failed-over request's trace timeline ==")
+    # The client SDK injected a deterministic TraceContext into the request;
+    # find the pipeline trace carrying it and print the per-span timeline.
+    trace_id = after.context.trace_id
+    failover_trace = next(
+        t
+        for t in reversed(server.platform.tracer.traces)
+        if any(trace_id in ids for _, ids in resolve_trace_ids(t))
+    )
+    print(f"   request trace id: {trace_id}")
+    print(render_timeline(failover_trace))
 
     print("\n== Same engine, library-style: the SIMD pipeline via a spec ==")
     simd_spec = PipelineSpec(scheme="simd", params=server.params)

@@ -23,6 +23,10 @@ Options:
     python -m repro --serve-demo --fleet 2
                                        # same, on a 2-replica enclave fleet
                                        # (sealed-key migration + routing)
+    python -m repro --flight-dump PATH # arm the flight recorder for the run
+                                       # and write its ordered event log as
+                                       # JSON ("-" writes to stdout); composes
+                                       # with every mode above
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ def _parse(argv: list[str]) -> tuple[dict[str, object], int | None]:
         "metrics_json": None,
         "serve_demo": False,
         "fleet": 1,
+        "flight_dump": None,
     }
     args = list(argv)
     while args:
@@ -61,6 +66,11 @@ def _parse(argv: list[str]) -> tuple[dict[str, object], int | None]:
                 print(__doc__)
                 return opts, 2
             opts["metrics_json"] = args.pop(0)
+        elif arg == "--flight-dump":
+            if not args:
+                print(__doc__)
+                return opts, 2
+            opts["flight_dump"] = args.pop(0)
         elif arg == "--serve-demo":
             opts["serve_demo"] = True
         elif arg == "--paper":
@@ -121,7 +131,9 @@ def _metrics_demo(models, quantized) -> None:
           f"{server.enclave.restarts} enclave restart(s)")
 
 
-def _serve_demo(training: dict, dims: dict, fleet: int) -> int:
+def _serve_demo(
+    training: dict, dims: dict, fleet: int, trace_json: str | None = None
+) -> int:
     """Replay a seeded open-loop trace through the serving loop.
 
     A steady Poisson phase followed by a 4x on/off burst, continuous
@@ -203,6 +215,21 @@ def _serve_demo(training: dict, dims: dict, fleet: int) -> int:
     resolved = all(t.done() for t in loop.tickets)
     print(f"all tickets resolved: {resolved}   "
           f"served logits == plaintext: {exact}")
+    if trace_json is not None:
+        import json
+
+        from repro.obs import trace_to_dict
+
+        text = json.dumps(
+            [trace_to_dict(t) for t in server.platform.tracer.traces], indent=2
+        )
+        if trace_json == "-":
+            print(text)
+        else:
+            with open(str(trace_json), "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"{len(server.platform.tracer.traces)} serving trace(s) "
+                  f"written to {trace_json}")
     return 0 if resolved and exact else 1
 
 
@@ -210,7 +237,11 @@ def main(argv: list[str]) -> int:
     opts, early = _parse(argv)
     if early is not None:
         return early
-    for opt_name, flag in (("trace_json", "--trace-json"), ("metrics_json", "--metrics-json")):
+    for opt_name, flag in (
+        ("trace_json", "--trace-json"),
+        ("metrics_json", "--metrics-json"),
+        ("flight_dump", "--flight-dump"),
+    ):
         path = opts[opt_name]
         if path is not None and path != "-":
             # Fail before the training run, not after it.
@@ -221,6 +252,25 @@ def main(argv: list[str]) -> int:
                 print(f"error: cannot write {flag} path {path}: {exc}")
                 return 2
 
+    if opts["flight_dump"] is None:
+        return _run(opts)
+    from repro.obs import recorder as flight
+
+    flight.enable(dump_on_error=True)
+    try:
+        return _run(opts)
+    finally:
+        text = flight.recorder().dump_json()
+        if opts["flight_dump"] == "-":
+            print(text)
+        else:
+            with open(str(opts["flight_dump"]), "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"flight recorder dump written to {opts['flight_dump']}")
+        flight.disable()
+
+
+def _run(opts: dict[str, object]) -> int:
     from repro.bench import format_trace
     from repro.core import (
         HybridPipeline,
@@ -240,7 +290,9 @@ def main(argv: list[str]) -> int:
         dims = dict(image_size=12, channels=2, kernel_size=3)
         training = dict(train_size=600, test_size=150, epochs=6)
     if opts["serve_demo"]:
-        return _serve_demo(training, dims, int(opts["fleet"]))
+        return _serve_demo(
+            training, dims, int(opts["fleet"]), trace_json=opts["trace_json"]
+        )
     print("repro: Privacy-Preserving NN Inference via HE + SGX (ICDCS 2021)")
     print(f"dimensions: {dims}\n")
     models = train_paper_models(**training, **dims)

@@ -55,6 +55,7 @@ from repro.he.decryptor import Decryptor
 from repro.he.encoders import ScalarEncoder
 from repro.he.encryptor import Encryptor
 from repro.obs import metrics
+from repro.obs.context import TraceContext
 from repro.serve.api import InferenceRequest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -126,6 +127,7 @@ class AttestedClient:
         self.session: "UserSession | None" = None
         self.connects = 0
         self.reconnects = 0
+        self.requests_issued = 0
         self._keys = None
 
     # ------------------------------------------------------------------
@@ -308,10 +310,20 @@ class AttestedClient:
         deadline_ms: float | None = None,
         priority: int = 1,
         slo_deadline_ms: float | None = None,
+        context: TraceContext | None = None,
     ) -> InferenceRequest:
         """Encrypt and wrap ``images`` as a canonical
         :class:`~repro.serve.api.InferenceRequest` (for callers that drive
-        the scheduler or serving loop themselves)."""
+        the scheduler or serving loop themselves).
+
+        Every request carries a :class:`~repro.obs.context.TraceContext`:
+        pass one explicitly, or the client derives it deterministically
+        from the session entropy and its monotone request counter, so the
+        same workload always produces the same trace ids.
+        """
+        self.requests_issued += 1
+        if context is None:
+            context = TraceContext.derive(self._entropy, self.requests_issued)
         return InferenceRequest(
             model=model,
             ciphertext=self.encrypt(model, images),
@@ -319,6 +331,7 @@ class AttestedClient:
             deadline_ms=deadline_ms,
             priority=priority,
             slo_deadline_ms=slo_deadline_ms,
+            context=context,
         )
 
     def infer(

@@ -55,6 +55,8 @@ from repro.he.evaluator import Evaluator, OperationCounter
 from repro.he.params import EncryptionParams
 from repro.nn.quantize import QuantizedCNN
 from repro.obs import metrics
+from repro.obs import context as obs_context
+from repro.obs.context import TraceContext
 from repro.serve.api import InferenceRequest
 from repro.serve.api import InferenceResult as _ServeResult
 from repro.sgx.attestation import AttestationVerificationService, QuotingService
@@ -181,6 +183,7 @@ class EdgeServer:
         )
         self.fleet.generate_keys()
         self.quoting = QuotingService(self.platform)
+        self._exchanges = 0
         self.counter = OperationCounter()
         self.evaluator = Evaluator(self.context, self.counter)
         self.encoder = ScalarEncoder(self.context)
@@ -319,7 +322,20 @@ class EdgeServer:
         distribution = SgxKeyDistribution(
             platform=self.platform, enclave=self.enclave, quoting=self.quoting
         )
-        return distribution.serve_exchange(user_dh_public)
+        self._exchanges += 1
+        # Enrollment is control-plane work: a derived context keeps the
+        # exchange's ECALL spans attributable without a client request.
+        exchange_context = (
+            None
+            if obs_context.current()
+            else TraceContext.derive(
+                "server:key_exchange",
+                self._exchanges,
+                parent_id=f"server/key_exchange-{self._exchanges}",
+            )
+        )
+        with obs_context.activate(exchange_context):
+            return distribution.serve_exchange(user_dh_public)
 
     def enroll_user(
         self, entropy: bytes, verifier: AttestationVerificationService
@@ -409,7 +425,10 @@ class EdgeServer:
             )
         if request.pack:
             response = self.scheduler.submit(
-                request.model, request.ciphertext, deadline_s=request.deadline_s
+                request.model,
+                request.ciphertext,
+                deadline_s=request.deadline_s,
+                context=request.context,
             )
             if not response.done():
                 self.scheduler.drain(request.model)
@@ -418,10 +437,17 @@ class EdgeServer:
         return run_with_kernel_degradation(
             self.platform.tracer,
             "EdgeServer/EncryptSGX",
-            lambda: self._infer_direct(request.model, request.ciphertext),
+            lambda: self._infer_direct(
+                request.model, request.ciphertext, context=request.context
+            ),
         )
 
-    def _infer_direct(self, model_name: str, ct: Ciphertext) -> ServedResult:
+    def _infer_direct(
+        self,
+        model_name: str,
+        ct: Ciphertext,
+        context: "TraceContext | None" = None,
+    ) -> ServedResult:
         quantized = self._require_model(model_name)
         encoded = self._encoded[model_name]
         tracer = self.platform.tracer
@@ -431,13 +457,19 @@ class EdgeServer:
                 name, counter=self.counter, side_channel=self.enclave.side_channel
             )
 
-        with tracer.span(
+        trace_attrs: dict = {}
+        if context is not None:
+            trace_attrs["trace_id"] = context.trace_id
+            if context.parent_id:
+                trace_attrs["trace_parent"] = context.parent_id
+        with obs_context.activate(context), tracer.span(
             "EdgeServer/EncryptSGX",
             kind="pipeline",
             counter=self.counter,
             side_channel=self.enclave.side_channel,
             model=model_name,
             batch=int(ct.batch_shape[0]),
+            **trace_attrs,
         ) as trace:
             with stage("conv"):
                 conv = heops.he_conv2d(self.evaluator, self.encoder, ct, encoded.conv)
@@ -467,7 +499,10 @@ class EdgeServer:
             trace=trace,
         )
         return ServedResult(
-            logits_ct=logits_ct, timing=timing, replica=self.enclave.replica
+            logits_ct=logits_ct,
+            timing=timing,
+            replica=self.enclave.replica,
+            context=context,
         )
 
     def _require_model(self, name: str) -> QuantizedCNN:

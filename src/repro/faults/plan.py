@@ -187,6 +187,16 @@ class FaultPlan:
                 "Injected faults fired from the armed plan, by site.",
                 ("site",),
             ).labels(site=site).inc()
+            from repro.obs import recorder
+
+            recorder.record(
+                "fault.fire",
+                severity="warn",
+                site=site,
+                name=rule.name,
+                fire=fires + 1,
+                context={k: str(v) for k, v in context.items()},
+            )
             return event
         return None
 

@@ -37,6 +37,9 @@ from repro.errors import (
     RecoveryExhausted,
     SealingError,
 )
+from repro.obs import context as obs_context
+from repro.obs import recorder
+from repro.obs.context import TraceContext
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sgx.enclave import Enclave, EnclaveHandle, SgxPlatform
@@ -221,6 +224,7 @@ class EnclaveSupervisor:
                 return result
             except EnclaveCrashed as crash:
                 if attempt >= policy.max_attempts:
+                    self._exhausted(name, f"still crashing after {attempt} attempts")
                     raise RecoveryExhausted(
                         f"ECALL {name!r} still crashing after {attempt} attempts"
                     ) from crash
@@ -230,15 +234,29 @@ class EnclaveSupervisor:
                     # The restart sequence itself was hit; spend an attempt
                     # and come around again if any remain.
                     if attempt + 1 >= policy.max_attempts:
+                        self._exhausted(name, "restart keeps crashing")
                         raise RecoveryExhausted(
                             f"enclave restart for ECALL {name!r} keeps crashing"
                         ) from restart_crash
                 except (SealingError, AttestationError) as fatal:
+                    self._exhausted(name, f"unrecoverable restart: {fatal}")
                     raise RecoveryExhausted(
                         f"enclave restart for ECALL {name!r} is unrecoverable: "
                         f"{fatal}"
                     ) from fatal
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def _exhausted(self, ecall_name: str, why: str) -> None:
+        """Terminal flight-recorder event (with dump, when configured)
+        emitted just before a ``RecoveryExhausted`` raise."""
+        recorder.terminal(
+            "recovery.exhausted",
+            t_s=self._platform.clock.now_s,
+            ecall=ecall_name,
+            replica=self.replica,
+            restarts=self.restarts,
+            why=why,
+        )
 
     # ------------------------------------------------------------------
     # restart internals
@@ -276,6 +294,15 @@ class EnclaveSupervisor:
                 "replica.",
                 ("replica",),
             ).labels(replica=str(self.replica)).inc(self.policy.delay_s(restart))
+            recorder.record(
+                "recovery.enclave_restart",
+                severity="warn",
+                t_s=self._platform.clock.now_s,
+                ecall=ecall_name,
+                attempt=attempt,
+                restart=restart,
+                replica=self.replica,
+            )
             self._platform.clock.charge(self.policy.delay_s(restart), "fault_backoff")
             self._handle.destroy()
             handle = self._platform.load_enclave(
@@ -445,10 +472,19 @@ class FleetManager:
     def generate_keys(self):
         """Generate the fleet key pair on the authority, then bring the
         fleet to its target size via sealed-key migration joins."""
-        public = self.authority.ecall("generate_keys")
-        self.key_generation += 1
-        while self.size < self._target:
-            self.add_replica()
+        # Control-plane work gets its own derived context so key
+        # provisioning spans stay attributable alongside request spans.
+        with obs_context.activate(
+            TraceContext.derive(
+                "fleet:control",
+                self.key_generation + 1,
+                parent_id="fleet/generate_keys",
+            )
+        ):
+            public = self.authority.ecall("generate_keys")
+            self.key_generation += 1
+            while self.size < self._target:
+                self.add_replica()
         return public
 
     def add_replica(self) -> int:
@@ -474,7 +510,18 @@ class FleetManager:
         replica_id = self._spawn_replica()
         supervisor = self._supervisors[replica_id]
         nonce = b"fleet-join|%d|%d" % (self.key_generation, replica_id)
-        with self._platform.tracer.span(
+        # Joins triggered outside generate_keys (failover repair, scale-up)
+        # derive their own control context; nested joins inherit.
+        join_context = (
+            None
+            if obs_context.current()
+            else TraceContext.derive(
+                "fleet:join",
+                self.joins + 1,
+                parent_id=f"fleet/replica_join-{replica_id}",
+            )
+        )
+        with obs_context.activate(join_context), self._platform.tracer.span(
             "fleet/replica_join",
             kind="span",
             replica=replica_id,
@@ -613,6 +660,14 @@ class FleetManager:
             "Replicas retired from rotation after unrecoverable failures.",
             ("replica",),
         ).labels(replica=str(replica_id)).inc()
+        recorder.record(
+            "fleet.retire",
+            severity="error",
+            t_s=self._platform.clock.now_s,
+            replica=replica_id,
+            cause=str(cause),
+            live_replicas=len(self._supervisors),
+        )
         with self._platform.tracer.span(
             "fleet/replica_retired", kind="span", replica=replica_id,
             error=str(cause),

@@ -27,6 +27,8 @@ Bit-identity notes per rewrite:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 
 from repro.core import heops
@@ -134,6 +136,23 @@ def _crossing(pipe, node: ir.GraphNode, conv):
     )
 
 
+@contextmanager
+def _node_stage(stage, node: ir.GraphNode):
+    """Open the node's stage span and stamp its graph identity onto it.
+
+    The stamped attrs are what :mod:`repro.obs.profile` keys measured
+    costs by: the full node signature (op + stage + level + noise
+    annotations + rewrite knobs), so two optimizer configurations of the
+    same stage profile as distinct nodes.
+    """
+    with stage(node.stage) as span:
+        span.attrs["node_signature"] = str(node.signature())
+        span.attrs["node_op"] = node.op
+        span.attrs["node_level"] = node.level
+        span.attrs["node_headroom_bits"] = float(node.budget_bits)
+        yield span
+
+
 def run(pipe, graph: ir.InferenceGraph, images: np.ndarray):
     """Walk ``graph`` on ``pipe``; returns ``(logits, budget, logits_ct)``."""
     stage = pipe._stage if hasattr(pipe, "_stage") else pipe.tracer.stage
@@ -143,10 +162,10 @@ def run(pipe, graph: ir.InferenceGraph, images: np.ndarray):
     budget = None
     for node in graph.nodes:
         if node.op == "encrypt":
-            with stage(node.stage):
+            with _node_stage(stage, node):
                 value = _encrypt(pipe, node, images)
         elif node.op == "conv":
-            with stage(node.stage):
+            with _node_stage(stage, node):
                 value = heops.he_conv2d(
                     pipe.evaluator,
                     pipe.encoder,
@@ -158,25 +177,25 @@ def run(pipe, graph: ir.InferenceGraph, images: np.ndarray):
             # The stage span measures host wall time *exclusively*, so the
             # per-pixel mode's slicing/reassembly around its ECALLs is
             # charged here without double-counting the in-enclave compute.
-            with stage(node.stage):
+            with _node_stage(stage, node):
                 value = _crossing(pipe, node, value)
         elif node.op == "square":
-            with stage(node.stage):
+            with _node_stage(stage, node):
                 if node.attrs.get("hoist_coeff"):
                     hoisted = value.to_coeff()
                     value = pipe.evaluator.multiply(hoisted, hoisted)
                 else:
                     value = heops.he_square(pipe.evaluator, value)
         elif node.op == "relinearize":
-            with stage(node.stage):
+            with _node_stage(stage, node):
                 value = pipe.evaluator.relinearize(value, pipe._relin_keys)
         elif node.op == "pool":
-            with stage(node.stage):
+            with _node_stage(stage, node):
                 value = heops.he_scaled_mean_pool(
                     pipe.evaluator, value, pipe.quantized.pool_window
                 )
         elif node.op == "fc":
-            with stage(node.stage):
+            with _node_stage(stage, node):
                 value = heops.he_dense(
                     pipe.evaluator,
                     pipe.encoder,
@@ -187,7 +206,8 @@ def run(pipe, graph: ir.InferenceGraph, images: np.ndarray):
             logits_ct = value
         elif node.op == "decrypt":
             budget = pipe.decryptor.invariant_noise_budget(logits_ct)
-            with stage(node.stage):
+            with _node_stage(stage, node) as span:
+                span.attrs["noise_budget_bits"] = float(budget)
                 logits = decrypt_scalar_values(pipe.decryptor, pipe.encoder, logits_ct)
         else:
             raise PipelineError(f"graph executor cannot run node {node.op!r}")

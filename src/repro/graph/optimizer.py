@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from repro.errors import GraphPassError, PipelineError
 from repro.graph import ir
 from repro.graph import passes as graph_passes
+from repro.obs import recorder
 
 LEVELS: tuple[str, ...] = ("off", "safe", "aggressive")
 
@@ -157,6 +158,9 @@ class CompileReport:
     degraded: bool = False
     failure: str | None = None
     parameter_advice: object = None
+    #: Measured evidence attached after the fact by :meth:`cite` -- not
+    #: part of the compile's identity, hence excluded from comparisons.
+    measured: dict | None = field(default=None, compare=False)
 
     @property
     def label(self) -> str:
@@ -164,6 +168,29 @@ class CompileReport:
 
     def refusal(self, name: str) -> str | None:
         return dict(self.refused).get(name)
+
+    def cite(self, profile, baseline=None) -> "CompileReport":
+        """Attach measured per-op costs (and savings vs a baseline run).
+
+        ``profile`` is a :class:`repro.obs.profile.ProfileReport` from
+        executions of this compile; ``baseline`` one from the reference
+        (``off``) compile.  The report then quotes *measured* savings
+        instead of the passes' estimated noise-cost arithmetic.  Mutates
+        in place (``object.__setattr__`` -- the report is frozen) and
+        returns ``self`` for chaining.
+        """
+        evidence = {
+            "pipelines": profile.pipelines,
+            "per_op_elapsed_s": {
+                op: agg["elapsed_s"] / profile.pipelines
+                for op, agg in profile.per_op().items()
+            },
+            "coverage": profile.coverage(),
+        }
+        if baseline is not None:
+            evidence["savings_vs_reference_s"] = profile.savings_vs(baseline)
+        object.__setattr__(self, "measured", evidence)
+        return self
 
 
 def compile_graph(
@@ -214,8 +241,21 @@ def compile_graph(
                 applied.append(name)
             else:
                 refused.append((name, reason))
+                recorder.record(
+                    "graph.pass_refused",
+                    graph_pass=name,
+                    level=resolved_level,
+                    reason=reason,
+                )
     except Exception as exc:  # degrade: reference graph, bit-identical
         _record_degradation(current)
+        recorder.record(
+            "graph.degraded",
+            severity="error",
+            graph_pass=current,
+            level=resolved_level,
+            error=str(exc),
+        )
         return graph.clone(), CompileReport(
             level=resolved_level,
             requested=names,

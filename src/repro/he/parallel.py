@@ -45,7 +45,9 @@ import numpy as np
 from repro import faults
 from repro.errors import ParallelError
 from repro.he.arena import Arena
-from repro.obs import metrics
+from repro.obs import context as obs_context
+from repro.obs import metrics, recorder
+from repro.obs.tracer import Span, active_tracer
 
 #: Fault site consulted once per dispatched unit (``name`` = preferred
 #: worker id); a fire SIGKILLs that worker mid-flush.
@@ -440,10 +442,12 @@ class WorkerPool:
         w_view = self.arena.place(weights)
         out_view = self.arena.alloc(out_shape)
         tasks = []
+        trace_header = obs_context.wire_current()
         for r0, r1 in _unit_ranges(length, self.workers * UNITS_PER_WORKER):
             tasks.append(
                 {
                     "unit": self._unit_seq,
+                    "trace": trace_header,
                     "kind": kind,
                     "shm": self.arena.name,
                     "in_off": in_view.offset,
@@ -503,6 +507,7 @@ class WorkerPool:
                 if wid != preferred[unit]:
                     self.stolen_units += 1
                     _m_steals().inc()
+                self._annotate_unit(task, wid, elapsed)
                 continue
             dead = [w for w, proc in self._procs.items() if not proc.is_alive()]
             if dead:
@@ -513,6 +518,38 @@ class WorkerPool:
                     f"worker pool stalled: {len(pending)} unit(s) pending "
                     f"past {RUN_TIMEOUT_S:.0f}s with all workers alive"
                 )
+
+    def _annotate_unit(self, task: dict, wid: int, elapsed: float) -> None:
+        """Re-attach a completed work unit to the open trace, if any.
+
+        The unit ran out-of-process where no tracer exists, so its ack
+        becomes a zero-cost annotation span under whatever span is open
+        (the kernel's stage): simulated time is untouched -- the host-side
+        seconds ride along as an attr -- and the request contexts from the
+        work-unit header re-stamp so fan-out stays attributable per user.
+        """
+        tracer = active_tracer()
+        parent = tracer.current if tracer is not None else None
+        if parent is None:
+            return
+        span = Span(
+            name=f"parallel/{task['kind']}_unit",
+            kind="span",
+            attrs={
+                "unit": task["unit"],
+                "worker": wid,
+                "rows": list(task["rows"]),
+                "host_elapsed_s": elapsed,
+            },
+        )
+        header = task.get("trace") or []
+        if len(header) == 1:
+            span.attrs["trace_id"] = header[0]["trace_id"]
+            if header[0].get("parent_id"):
+                span.attrs["trace_parent"] = header[0]["parent_id"]
+        elif header:
+            span.attrs["trace_ids"] = [h["trace_id"] for h in header]
+        parent.children.append(span)
 
     def _poll_results(self, timeout: float) -> bool:
         reader = getattr(self._results, "_reader", None)
@@ -539,12 +576,24 @@ class WorkerPool:
         """
         self.deaths += len(dead)
         _m_deaths().inc(len(dead))
+        recorder.record(
+            "parallel.worker_death",
+            severity="error",
+            workers=sorted(dead),
+            pending_units=sorted(pending),
+        )
         self._teardown_procs()
         replay = _m_replayed()
         for unit in sorted(pending):
             _execute_unit(pending[unit], self.arena.buffer)
             self.replayed_units += 1
             replay.inc()
+        recorder.record(
+            "parallel.replay",
+            severity="warn",
+            units=sorted(pending),
+            replayed_units=self.replayed_units,
+        )
         self._spawn_all()
 
 

@@ -19,6 +19,16 @@ See DESIGN.md ("Observability" and "Metrics & regression gating") for the
 span schema, the timing invariant, and the metric family inventory.
 """
 
+from repro.obs.context import (
+    TraceContext,
+    activate,
+    current,
+    current_trace_ids,
+    derive_trace_id,
+    resolve_trace_ids,
+    spans_without_context,
+    stamp,
+)
 from repro.obs.export import (
     metrics_from_trace,
     render_prometheus,
@@ -27,6 +37,7 @@ from repro.obs.export import (
     trace_from_json,
     trace_to_dict,
     trace_to_json,
+    validate_histograms,
 )
 from repro.obs.metrics import (
     LATENCY_BUCKETS,
@@ -39,27 +50,56 @@ from repro.obs.metrics import (
     set_registry,
     use_registry,
 )
-from repro.obs.tracer import SPAN_KINDS, Span, Tracer, reconcile
+from repro.obs.profile import (
+    NodeProfile,
+    ProfileReport,
+    profile_from_trace,
+    profile_from_traces,
+    render_timeline,
+)
+# NOTE: the ``recorder()`` accessor is deliberately *not* re-exported here:
+# binding that name in the package namespace would shadow the
+# ``repro.obs.recorder`` submodule attribute that instrumented layers import
+# (``from repro.obs import recorder``).  Use the submodule directly.
+from repro.obs.recorder import FlightEvent, FlightRecorder, use_recorder
+from repro.obs.tracer import SPAN_KINDS, Span, Tracer, active_tracer, reconcile
 
 __all__ = [
     "LATENCY_BUCKETS",
     "Counter",
+    "FlightEvent",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "NodeProfile",
+    "ProfileReport",
     "SPAN_KINDS",
     "Span",
+    "TraceContext",
     "Tracer",
+    "activate",
+    "active_tracer",
+    "current",
+    "current_trace_ids",
+    "derive_trace_id",
     "metrics_from_trace",
+    "profile_from_trace",
+    "profile_from_traces",
     "reconcile",
     "registry",
     "render_prometheus",
+    "render_timeline",
+    "resolve_trace_ids",
     "samples_from_trace",
     "set_registry",
+    "spans_without_context",
+    "stamp",
     "trace_from_dict",
     "trace_from_json",
     "trace_to_dict",
     "trace_to_json",
-    "use_registry",
+    "use_recorder",
+    "validate_histograms",
 ]

@@ -21,8 +21,10 @@ aggregate registry reconciled sample-for-sample.
 from __future__ import annotations
 
 import json
+import math
+import re
 
-from repro.errors import TraceFormatError
+from repro.errors import MetricsError, TraceFormatError
 from repro.obs.metrics import escape_help, format_labels
 from repro.obs.tracer import SPAN_KINDS, Span
 
@@ -182,6 +184,55 @@ def _family_metadata(family: str) -> tuple[str, str]:
     return family, inferred
 
 
+_BUCKET_KEY = re.compile(r"^(?P<family>.+)_bucket\{(?P<labels>.*)\}$")
+_LE_LABEL = re.compile(r'(?:^|,)le="(?P<le>[^"]*)"')
+
+
+def validate_histograms(metrics: dict[str, float]) -> None:
+    """Consistency pass over flattened histogram samples.
+
+    For every ``<family>_bucket{...,le=...}`` series in ``metrics``:
+    cumulative bucket counts must be monotone non-decreasing in bound
+    order, and when the matching ``<family>_count{...}`` sample is present
+    it must equal the top (``+Inf``) bucket.  A violation means the
+    exporter (or a hand-edited snapshot) would publish a histogram no
+    Prometheus query could interpret, so it raises
+    :class:`~repro.errors.MetricsError` instead of rendering garbage.
+    """
+    series: dict[tuple[str, str], list[tuple[float, str, float]]] = {}
+    for key, value in metrics.items():
+        match = _BUCKET_KEY.match(key)
+        if match is None:
+            continue
+        labels = match.group("labels")
+        le_match = _LE_LABEL.search(labels)
+        if le_match is None:
+            raise MetricsError(f"histogram bucket sample without le label: {key}")
+        le_text = le_match.group("le")
+        bound = math.inf if le_text == "+Inf" else float(le_text)
+        bare = _LE_LABEL.sub("", labels).strip(",")
+        series.setdefault((match.group("family"), bare), []).append(
+            (bound, le_text, value)
+        )
+    for (family, bare), buckets in series.items():
+        buckets.sort(key=lambda b: b[0])
+        previous = -math.inf
+        for bound, le_text, count in buckets:
+            if count < previous:
+                raise MetricsError(
+                    f"histogram {family}{{{bare}}}: bucket le={le_text} count "
+                    f"{count:g} below preceding bucket {previous:g} (not monotone)"
+                )
+            previous = count
+        selector = f"{{{bare}}}" if bare else ""
+        total = metrics.get(f"{family}_count{selector}")
+        if total is not None and buckets and buckets[-1][2] != total:
+            raise MetricsError(
+                f"histogram {family}{{{bare}}}: _count {total:g} != top bucket "
+                f"{buckets[-1][2]:g}"
+            )
+
+
 def render_prometheus(metrics: dict[str, float]) -> str:
     """Metrics dict as Prometheus exposition text.
 
@@ -189,8 +240,10 @@ def render_prometheus(metrics: dict[str, float]) -> str:
     one family are grouped, first-seen family order preserved) followed by
     one sample line per entry.  Family types come from
     :data:`TRACE_FAMILY_TYPES` when known and the ``_total``/``_count``
-    suffix heuristic otherwise.
+    suffix heuristic otherwise.  Histogram samples are validated first
+    (:func:`validate_histograms`).
     """
+    validate_histograms(metrics)
     by_family: dict[str, list[tuple[str, float]]] = {}
     for key, value in metrics.items():
         by_family.setdefault(_family_of(key), []).append((key, value))

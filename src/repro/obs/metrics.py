@@ -491,7 +491,9 @@ class MetricsRegistry:
 
     def render_prometheus(self) -> str:
         """Full exposition: ``# HELP``/``# TYPE`` per family, histogram
-        ``_bucket{le=}``/``_sum``/``_count`` expansion, escaped labels."""
+        ``_bucket{le=}``/``_sum``/``_count`` expansion, escaped labels.
+        Histogram samples are consistency-checked first
+        (:func:`validate_histogram_sample`)."""
         lines: list[str] = []
         for family in self.collect().families:
             name = family["name"]
@@ -501,6 +503,7 @@ class MetricsRegistry:
             for sample in family["samples"]:
                 labels = dict(sample["labels"])
                 if family["type"] == "histogram":
+                    validate_histogram_sample(name, sample)
                     for le, count in sample["buckets"].items():
                         selector = format_labels({**labels, "le": le})
                         lines.append(f"{name}_bucket{selector} {count}")
@@ -513,6 +516,31 @@ class MetricsRegistry:
                         f"{name}{format_labels(labels)} {_format_value(sample['value'])}"
                     )
         return "\n".join(lines)
+
+
+def validate_histogram_sample(name: str, sample: dict) -> None:
+    """Assert one collected histogram sample is internally consistent.
+
+    Cumulative bucket counts must be monotone non-decreasing in bound
+    order and ``count`` must equal the top (``+Inf``) bucket; a violation
+    means corrupted child state and raises :class:`MetricsError` rather
+    than letting the exposition publish an uninterpretable series.
+    """
+    buckets = sample["buckets"]
+    previous = None
+    for le, count in buckets.items():
+        if previous is not None and count < previous:
+            raise MetricsError(
+                f"histogram {name}{format_labels(dict(sample['labels']))}: bucket "
+                f"le={le} count {count} below preceding {previous} (not monotone)"
+            )
+        previous = count
+    top = buckets.get("+Inf")
+    if top is not None and top != sample["count"]:
+        raise MetricsError(
+            f"histogram {name}{format_labels(dict(sample['labels']))}: _count "
+            f"{sample['count']} != top bucket {top}"
+        )
 
 
 def escape_help(text: str) -> str:

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import ReproError
+from repro.obs import context as obs_context
 from repro.obs import metrics
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -42,6 +43,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Span kinds the schema defines (``attrs`` may extend, kinds may not).
 SPAN_KINDS = ("pipeline", "stage", "ecall", "span")
+
+#: Tracers with at least one open span, innermost last.  Lets layers with
+#: no tracer in reach (the parallel worker pool's ack loop) attach
+#: annotation spans to whatever span is currently open process-wide.
+_ACTIVE_TRACERS: list["Tracer"] = []
+
+
+def active_tracer() -> "Tracer | None":
+    """The tracer owning the innermost open span, if any."""
+    return _ACTIVE_TRACERS[-1] if _ACTIVE_TRACERS else None
 
 
 @dataclass
@@ -161,6 +172,10 @@ class Tracer:
         counter = counter if counter is not None else self.counter
         side_channel = side_channel if side_channel is not None else self.side_channel
         span = Span(name=name, kind=kind, attrs=dict(attrs))
+        # Every span opened while a request (or control-plane) context is
+        # ambient is attributable; explicit trace_id/trace_ids attrs win.
+        if "trace_id" not in span.attrs and "trace_ids" not in span.attrs:
+            obs_context.stamp(span.attrs)
         start_real = self.clock.real_s
         start_overhead = self.clock.overhead_s
         start_categories = self.clock.snapshot()
@@ -169,9 +184,11 @@ class Tracer:
             side_channel.count("ecall") if side_channel is not None else None
         )
         self._stack.append(span)
+        _ACTIVE_TRACERS.append(self)
         try:
             yield span
         finally:
+            _ACTIVE_TRACERS.pop()
             popped = self._stack.pop()
             assert popped is span, "span stack corrupted"
             span.real_s = self.clock.real_s - start_real

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.errors import ServeError
+from repro.obs.context import TraceContext
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.results import InferenceResult as TimingResult
@@ -52,6 +53,10 @@ class InferenceRequest:
         slo_deadline_ms: optional hard deadline (milliseconds after
             arrival) past which the result is worthless; loop-only -- such
             requests become evictable once no future flush can make it.
+        context: optional :class:`~repro.obs.context.TraceContext` naming
+            this request in the process-wide trace tree (the client SDK
+            injects one; serving front ends derive a deterministic
+            fallback when absent).
     """
 
     model: str
@@ -60,10 +65,13 @@ class InferenceRequest:
     deadline_ms: float | None = None
     priority: int = 1
     slo_deadline_ms: float | None = None
+    context: TraceContext | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.model, str) or not self.model:
             raise ServeError("InferenceRequest.model must be a non-empty string")
+        if self.context is not None and not isinstance(self.context, TraceContext):
+            raise ServeError("InferenceRequest.context must be a TraceContext")
         if self.deadline_ms is not None and not self.pack:
             raise ServeError("deadline_ms is only meaningful with pack=True")
         if self.deadline_ms is not None and self.deadline_ms < 0:
@@ -99,6 +107,7 @@ class InferenceResult:
     packed_batch: int = 0
     queue_wait_s: float = 0.0
     replica: int | None = None
+    context: TraceContext | None = None
 
 
 __all__ = ["InferenceRequest", "InferenceResult"]

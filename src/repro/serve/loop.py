@@ -63,7 +63,8 @@ from repro.errors import (
     QueueFullError,
     ServeError,
 )
-from repro.obs import metrics
+from repro.obs import metrics, recorder
+from repro.obs.context import TraceContext
 from repro.serve.scheduler import PendingResponse, _QueuedRequest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -286,6 +287,7 @@ class _Admitted:
     flush_by: float
     slo_deadline_at: float | None
     depth_at_entry: int
+    context: "TraceContext | None" = None
 
     def sort_key(self) -> tuple:
         # Priority class first, then FIFO within a class.
@@ -395,6 +397,7 @@ class ServingLoop:
         image_index: int | None = None,
         deadline_s: float | None = None,
         slo_deadline_s: float | None = None,
+        context: "TraceContext | None" = None,
     ) -> LoopTicket:
         """Schedule one request's arrival on the event timeline.
 
@@ -407,6 +410,10 @@ class ServingLoop:
                 when None).
             slo_deadline_s: optional hard deadline after which the result
                 is worthless; such requests are evictable once hopeless.
+            context: trace context naming the request in the process-wide
+                trace tree (the client SDK supplies one on its requests);
+                when None a deterministic fallback is derived from the
+                model name and loop request id.
 
         Raises:
             ServeError: ``priority`` is out of range or a deadline is
@@ -432,9 +439,16 @@ class ServingLoop:
             user_id=user_id,
             image_index=image_index,
         )
+        if context is None:
+            context = TraceContext.derive(
+                f"loop:{model}", self._next_request_id,
+                parent_id=f"loop/submit-{self._next_request_id}",
+            )
         self._next_request_id += 1
         self.tickets.append(ticket)
-        self._push(arrival_s, "arrival", (ticket, ct, deadline_s, slo_deadline_s))
+        self._push(
+            arrival_s, "arrival", (ticket, ct, deadline_s, slo_deadline_s, context)
+        )
         return ticket
 
     def offer(self, arrival: "Arrival", ct: "Ciphertext") -> LoopTicket:
@@ -528,6 +542,14 @@ class ServingLoop:
         else:
             self.stats.shed_queue_full += 1
         _m_shed().labels(model=ticket.model, reason=reason).inc()
+        recorder.record(
+            "serve.shed",
+            severity="warn",
+            t_s=self.now_s,
+            model=ticket.model,
+            request_id=ticket.request_id,
+            reason=reason,
+        )
 
     def _evict(self, record: _Admitted, why: str) -> None:
         self._queues[record.ticket.model].remove(record)
@@ -541,6 +563,14 @@ class ServingLoop:
         _m_evicted().labels(
             model=record.ticket.model, priority=record.ticket.priority
         ).inc()
+        recorder.record(
+            "serve.evict",
+            severity="warn",
+            t_s=self.now_s,
+            model=record.ticket.model,
+            request_id=record.ticket.request_id,
+            why=why,
+        )
 
     def _eviction_candidate(self) -> _Admitted | None:
         """Lowest-priority, latest-deadline queued request (never class 0)."""
@@ -563,6 +593,7 @@ class ServingLoop:
         ct: "Ciphertext",
         deadline_s: float | None,
         slo_deadline_s: float | None,
+        context: "TraceContext | None" = None,
     ) -> None:
         self.stats.arrivals += 1
         try:
@@ -615,12 +646,21 @@ class ServingLoop:
                 None if slo_deadline_s is None else self.now_s + slo_deadline_s
             ),
             depth_at_entry=self.queue_depth,
+            context=context,
         )
         self._queues.setdefault(ticket.model, []).append(record)
         ticket.admitted = True
         self.stats.admitted += 1
         self.stats.peak_queue_depth = max(self.stats.peak_queue_depth, self.queue_depth)
         _m_admitted().labels(model=ticket.model, priority=ticket.priority).inc()
+        recorder.record(
+            "serve.admit",
+            t_s=self.now_s,
+            model=ticket.model,
+            request_id=ticket.request_id,
+            priority=ticket.priority,
+            trace_id=None if context is None else context.trace_id,
+        )
         self._arm_timer(record)
         if (
             self._inflight
@@ -672,6 +712,13 @@ class ServingLoop:
         # fault): deliver its results now, late but never never.
         self.stats.recovered_completions += 1
         _m_recovered().inc()
+        recorder.record(
+            "serve.watchdog_recovered",
+            severity="warn",
+            t_s=self.now_s,
+            generation=generation,
+            model=fl.model,
+        )
         self._on_flush_done(generation, via_watchdog=True)
 
     # ------------------------------------------------------------------
@@ -745,18 +792,32 @@ class ServingLoop:
                 deadline_at=r.flush_by,
                 queue_depth_at_submit=r.depth_at_entry,
                 response=r.ticket,
+                context=r.context,
             )
             for r in selected
         ]
         for r in selected:
             r.ticket.queue_wait_s = started_at - r.admitted_at
+        self._generation += 1
+        generation = self._generation
+        recorder.record(
+            "serve.flush_start",
+            t_s=started_at,
+            model=model,
+            generation=generation,
+            replica=replica,
+            requests=len(requests),
+            images=images,
+            request_ids=[r.request_id for r in requests],
+        )
         # Real HE execution happens here, at flush start, through the
         # scheduler's shared isolation-hardened path; delivery of the
         # outcomes waits for the (virtual) completion event.  The scheduler
         # may fail the batch over to a survivor mid-flush, so the replica
         # recorded as busy is the one that actually served it.
         outcomes = self.scheduler.run_batch(
-            model, requests, flushed_at=started_at, replica=replica
+            model, requests, flushed_at=started_at, replica=replica,
+            generation=generation,
         )
         effective = replica
         for _, outcome in outcomes:
@@ -767,9 +828,8 @@ class ServingLoop:
                 break
         service_s = self.config.service_model.flush_s(images)
         done_at = started_at + service_s
-        self._generation += 1
-        self._inflight[self._generation] = _Inflight(
-            generation=self._generation,
+        self._inflight[generation] = _Inflight(
+            generation=generation,
             model=model,
             outcomes=outcomes,
             started_at=started_at,
@@ -798,12 +858,19 @@ class ServingLoop:
         lost = faults.poll("serve.loop.flush_done", name=model)
         if lost is not None:
             self.stats.lost_completions += 1
+            recorder.record(
+                "serve.flush_done_lost",
+                severity="warn",
+                t_s=self.now_s,
+                model=model,
+                generation=generation,
+            )
         else:
-            self._push(done_at, "flush_done", (self._generation,))
+            self._push(done_at, "flush_done", (generation,))
         # The watchdog is always armed: it is the loop's liveness backstop,
         # not a fault-mode-only path.
         self._push(
-            done_at + self.config.watchdog_grace_s, "watchdog", (self._generation,)
+            done_at + self.config.watchdog_grace_s, "watchdog", (generation,)
         )
 
     def _on_flush_done(self, generation: int, *, via_watchdog: bool) -> None:
@@ -812,15 +879,28 @@ class ServingLoop:
             self.stats.stale_events += 1
             return
         fl.delivered = True
+        served = failed = 0
         for request, outcome in fl.outcomes:
             ticket: LoopTicket = request.response
             ticket.completed_at_s = self.now_s
             if isinstance(outcome, BaseException):
                 ticket._fail(outcome)
                 self.stats.failed += 1
+                failed += 1
             else:
                 ticket._resolve(outcome)
                 self.stats.served += 1
+                served += 1
+        recorder.record(
+            "serve.flush_done",
+            t_s=self.now_s,
+            model=fl.model,
+            generation=generation,
+            replica=fl.replica,
+            served=served,
+            failed=failed,
+            via_watchdog=via_watchdog,
+        )
         self._maybe_continue()
 
     def _maybe_continue(self) -> None:

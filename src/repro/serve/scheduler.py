@@ -59,7 +59,9 @@ from repro.faults import run_with_kernel_degradation
 from repro.he import parallel
 from repro.he.batching import pack_coefficients
 from repro.he.context import Ciphertext
-from repro.obs import metrics
+from repro.obs import metrics, recorder
+from repro.obs import context as obs_context
+from repro.obs.context import TraceContext
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.server import EdgeServer, ServedResult
@@ -97,6 +99,15 @@ def _m_latency():
         "repro_serve_request_latency_seconds",
         "Per-request simulated latency, split into queue wait vs compute.",
         ("model", "phase"),
+    )
+
+
+def _m_retried():
+    return metrics.registry().counter(
+        "repro_fleet_retried_requests_total",
+        "Requests re-dispatched to a surviving replica during whole-batch "
+        "failover (one increment per request per retry attempt).",
+        ("model",),
     )
 
 
@@ -151,6 +162,7 @@ class ServeStats:
     served: int = 0
     failed: int = 0
     flushes: int = 0
+    retried_requests: int = 0
     isolations: int = 0
     isolated_requests: int = 0
     packed_images: int = 0
@@ -211,6 +223,7 @@ class _QueuedRequest:
     deadline_at: float
     queue_depth_at_submit: int
     response: PendingResponse
+    context: TraceContext | None = None
 
 
 class RequestScheduler:
@@ -321,6 +334,7 @@ class RequestScheduler:
         ct: Ciphertext,
         *,
         deadline_s: float | None = None,
+        context: TraceContext | None = None,
     ) -> PendingResponse:
         """Enqueue one encrypted request; flushes immediately if it fills
         the model's packing capacity.
@@ -332,6 +346,9 @@ class RequestScheduler:
             deadline_s: per-request coalescing deadline in simulated seconds
                 (the config's ``window_s`` if None); ``pump()`` flushes the
                 batch once it expires.
+            context: trace context naming the request in the process-wide
+                trace tree; when None a deterministic fallback is derived
+                from the request id, so every flush span is attributable.
 
         Raises:
             UnknownModelError: ``model_name`` was never provisioned.
@@ -361,6 +378,11 @@ class RequestScheduler:
         clock = self.server.platform.clock
         window = self.config.window_s if deadline_s is None else deadline_s
         response = PendingResponse(self._next_id, model_name)
+        if context is None:
+            context = TraceContext.derive(
+                f"scheduler:{model_name}", self._next_id,
+                parent_id=f"scheduler/submit-{self._next_id}",
+            )
         request = _QueuedRequest(
             request_id=self._next_id,
             model=model_name,
@@ -370,6 +392,7 @@ class RequestScheduler:
             deadline_at=clock.now_s + window,
             queue_depth_at_submit=depth_at_entry,
             response=response,
+            context=context,
         )
         self._next_id += 1
         self._queues.setdefault(model_name, []).append(request)
@@ -436,6 +459,7 @@ class RequestScheduler:
         *,
         flushed_at: float | None = None,
         replica: int | None = None,
+        generation: int | None = None,
     ) -> "list[tuple[_QueuedRequest, ServedResult | BaseException]]":
         """Execute one packed flush over ``requests`` and account for it.
 
@@ -464,6 +488,8 @@ class RequestScheduler:
                 clock, which is what the synchronous scheduler path wants.
             replica: fleet replica to execute on (the serving loop routes
                 explicitly; None lets the fleet pick least-loaded).
+            generation: the serving loop's flush generation, stamped on the
+                flush trace and recorder events (None outside the loop).
         """
         tracer = self.server.platform.tracer
         clock = self.server.platform.clock
@@ -489,7 +515,8 @@ class RequestScheduler:
                     tracer,
                     PACKED_SCHEME,
                     lambda: self._run_packed(
-                        model_name, requests, flushed_at=flushed_at, replica=replica
+                        model_name, requests, flushed_at=flushed_at,
+                        replica=replica, generation=generation,
                     ),
                 )
                 break
@@ -519,6 +546,21 @@ class RequestScheduler:
                         "after replica loss.",
                         ("model",),
                     ).labels(model=model_name).inc()
+                # Satellite fix: retries are accounted under their own
+                # counter -- the latency histogram below observes each
+                # resolved request exactly once, never once per attempt.
+                self.stats.retried_requests += len(requests)
+                _m_retried().labels(model=model_name).inc(len(requests))
+                recorder.record(
+                    "fleet.failover",
+                    severity="warn",
+                    t_s=clock.now_s,
+                    model=model_name,
+                    from_replica=replica,
+                    to_replica=survivor,
+                    requests=len(requests),
+                    generation=generation,
+                )
                 replica = survivor
             except Exception as exc:  # noqa: BLE001 - isolation boundary
                 return self._isolate(
@@ -530,8 +572,15 @@ class RequestScheduler:
         self.stats.packed_images += images
         latency = _m_latency()
         for served in results:
+            # Exactly one latency sample per resolved request, per phase --
+            # failover attempts above retry the whole batch without
+            # observing anything, so the end-to-end sample covers every
+            # attempt's compute without duplicating the request.
             latency.labels(model=model_name, phase="queue").observe(served.queue_wait_s)
             latency.labels(model=model_name, phase="compute").observe(compute_s)
+            latency.labels(model=model_name, phase="e2e").observe(
+                served.queue_wait_s + compute_s
+            )
         _m_occupancy().labels(model=model_name).observe(images / self.capacity)
         return list(zip(requests, results))
 
@@ -558,6 +607,14 @@ class RequestScheduler:
         clock = self.server.platform.clock
         latency = _m_latency()
         self.stats.isolations += 1
+        recorder.record(
+            "serve.isolation",
+            severity="warn",
+            t_s=clock.now_s,
+            model=model_name,
+            requests=len(requests),
+            error=type(exc).__name__,
+        )
         outcomes: "list[tuple[_QueuedRequest, ServedResult | BaseException]]" = []
         with tracer.span(
             "recovery/request_isolation",
@@ -587,6 +644,9 @@ class RequestScheduler:
                         latency.labels(model=model_name, phase="compute").observe(
                             clock.now_s - rerun_start
                         )
+                        latency.labels(model=model_name, phase="e2e").observe(
+                            served.queue_wait_s + (clock.now_s - rerun_start)
+                        )
                         _m_occupancy().labels(model=model_name).observe(
                             request.batch / self.capacity
                         )
@@ -601,6 +661,14 @@ class RequestScheduler:
                 outcomes.append((request, failure))
                 self.stats.failed += 1
                 _m_failed().labels(model=model_name).inc()
+                recorder.record(
+                    "serve.request_failed",
+                    severity="error",
+                    t_s=clock.now_s,
+                    model=model_name,
+                    request_id=request.request_id,
+                    error=type(cause).__name__,
+                )
         return outcomes
 
     def _run_packed(
@@ -610,6 +678,7 @@ class RequestScheduler:
         *,
         flushed_at: float | None = None,
         replica: int | None = None,
+        generation: int | None = None,
     ) -> "list[ServedResult]":
         """One slot-packed pipeline pass; returns one result per request.
 
@@ -659,7 +728,14 @@ class RequestScheduler:
                 name, counter=server.counter, side_channel=enclave.side_channel
             )
 
-        with tracer.span(
+        contexts = [r.context for r in requests]
+        trace_attrs: dict = {}
+        trace_ids = [c.trace_id for c in contexts if c is not None]
+        if trace_ids:
+            trace_attrs["trace_ids"] = trace_ids
+        if generation is not None:
+            trace_attrs["generation"] = generation
+        with obs_context.activate(*contexts), tracer.span(
             PACKED_SCHEME,
             kind="pipeline",
             counter=server.counter,
@@ -670,6 +746,7 @@ class RequestScheduler:
             slot_count=self.slot_count,
             replica=getattr(enclave, "replica", None),
             workers=parallel.active_workers(),
+            **trace_attrs,
         ) as trace:
             with stage("pack"):
                 # Host side: fold the B stacked requests into polynomial
@@ -698,6 +775,13 @@ class RequestScheduler:
             with stage("unpack"):
                 logits_ct = enclave.ecall("unpack_slots", logits_packed, total)
             for r in requests:
+                request_attrs = {}
+                if r.context is not None:
+                    request_attrs["trace_id"] = r.context.trace_id
+                    if r.context.parent_id:
+                        request_attrs["trace_parent"] = r.context.parent_id
+                if generation is not None:
+                    request_attrs["generation"] = generation
                 with tracer.span(
                     "serve/request",
                     request_id=r.request_id,
@@ -705,6 +789,8 @@ class RequestScheduler:
                     queue_wait_s=flushed_at - r.enqueued_at,
                     queue_depth_at_submit=r.queue_depth_at_submit,
                     batch=r.batch,
+                    replica=getattr(enclave, "replica", None),
+                    **request_attrs,
                 ):
                     pass
 
@@ -727,6 +813,7 @@ class RequestScheduler:
                     packed_batch=total,
                     queue_wait_s=flushed_at - r.enqueued_at,
                     replica=getattr(enclave, "replica", None),
+                    context=r.context,
                 )
             )
             offset += r.batch

@@ -1,0 +1,75 @@
+"""Failover metrics drift: a whole-batch retry must not double-count.
+
+Before PR 10 a failed-over flush observed per-request latency once per
+*attempt*, so every failover inflated the e2e histogram and skewed its
+mean.  Retries now land on a dedicated counter
+(``repro_fleet_retried_requests_total``) and every resolved request gets
+exactly one sample per latency phase.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultRule
+from repro.obs.metrics import use_registry
+
+from .conftest import chaos_seeds
+from .test_chaos_fleet import make_fleet_loop
+
+_E2E = 'repro_serve_request_latency_seconds_count{model="digits",phase="e2e"}'
+
+
+class TestFailoverAccounting:
+    @pytest.mark.parametrize("seed", chaos_seeds())
+    def test_one_e2e_sample_per_resolved_request(
+        self, batching_params, q_sigmoid, models, seed
+    ):
+        with use_registry() as reg:
+            loop, session = make_fleet_loop(batching_params, q_sigmoid)
+            images = models.dataset.test_images[:3]
+            tickets = [
+                loop.submit(
+                    "digits",
+                    session.encrypt("digits", images[i : i + 1]),
+                    at_s=0.001 * i,
+                )
+                for i in range(3)
+            ]
+            plan = FaultPlan(
+                seed,
+                rules=[FaultRule(site="serve.fleet.replica", name="0", max_fires=1)],
+            )
+            with faults.armed(plan):
+                loop.run()
+            assert all(t.served for t in tickets)
+
+            stats = loop.server.scheduler.stats
+            flat = reg.collect().flat()
+            # The batch was dispatched twice but resolved once: the three
+            # requests show up as retries, not as extra latency samples.
+            assert stats.retried_requests == 3
+            assert flat['repro_fleet_retried_requests_total{model="digits"}'] == 3.0
+            assert flat['repro_fleet_failovers_total{model="digits"}'] == 1.0
+            assert flat[_E2E] == float(stats.served) == 3.0
+            for phase in ("queue", "compute"):
+                key = _E2E.replace('phase="e2e"', f'phase="{phase}"')
+                assert flat[key] == 3.0
+            assert stats.failed == 0 and stats.isolated_requests == 0
+            # The corrected histograms still pass the render-time validator.
+            text = reg.render_prometheus()
+            assert 'phase="e2e"' in text
+
+    def test_no_failover_means_no_retries(self, batching_params, q_sigmoid, models):
+        with use_registry() as reg:
+            loop, session = make_fleet_loop(batching_params, q_sigmoid)
+            loop.submit(
+                "digits", session.encrypt("digits", models.dataset.test_images[:1])
+            )
+            loop.run()
+            stats = loop.server.scheduler.stats
+            assert stats.retried_requests == 0
+            flat = reg.collect().flat()
+            assert 'repro_fleet_retried_requests_total{model="digits"}' not in flat
+            assert flat[_E2E] == 1.0

@@ -1,0 +1,88 @@
+"""Histogram validation pass: both render paths refuse corrupt samples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.obs import MetricsRegistry, render_prometheus, validate_histograms
+
+
+def _flat_histogram(counts=(1.0, 3.0, 4.0), total=4.0, labels='model="digits",'):
+    return {
+        f'repro_latency_bucket{{le="0.1",{labels.rstrip(",")}}}'.replace(",}", "}"): counts[0],
+        f'repro_latency_bucket{{le="1",{labels.rstrip(",")}}}'.replace(",}", "}"): counts[1],
+        f'repro_latency_bucket{{le="+Inf",{labels.rstrip(",")}}}'.replace(",}", "}"): counts[2],
+        f'repro_latency_count{{{labels.rstrip(",")}}}': total,
+        f'repro_latency_sum{{{labels.rstrip(",")}}}': 2.5,
+    }
+
+
+class TestFlatValidation:
+    def test_valid_passes_and_renders(self):
+        metrics = _flat_histogram()
+        validate_histograms(metrics)
+        text = render_prometheus(metrics)
+        assert 'repro_latency_bucket{le="+Inf",model="digits"} 4' in text
+
+    def test_non_monotone_buckets_rejected(self):
+        metrics = _flat_histogram(counts=(3.0, 1.0, 4.0))
+        with pytest.raises(MetricsError, match="not monotone"):
+            validate_histograms(metrics)
+        with pytest.raises(MetricsError, match="not monotone"):
+            render_prometheus(metrics)
+
+    def test_count_mismatch_rejected(self):
+        metrics = _flat_histogram(total=7.0)
+        with pytest.raises(MetricsError, match="top bucket"):
+            render_prometheus(metrics)
+
+    def test_bucket_without_le_rejected(self):
+        with pytest.raises(MetricsError, match="without le"):
+            validate_histograms({'repro_latency_bucket{model="digits"}': 1.0})
+
+    def test_unlabeled_histogram_checked(self):
+        metrics = {
+            'repro_wait_bucket{le="1"}': 2.0,
+            'repro_wait_bucket{le="+Inf"}': 2.0,
+            "repro_wait_count": 2.0,
+        }
+        validate_histograms(metrics)
+        metrics["repro_wait_count"] = 9.0
+        with pytest.raises(MetricsError, match="top bucket"):
+            validate_histograms(metrics)
+
+    def test_non_histogram_families_ignored(self):
+        validate_histograms({"repro_requests_total": 5.0, "repro_gauge": 1.0})
+
+
+class TestRegistryValidation:
+    def _registry_with_histogram(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "repro_request_latency_seconds",
+            "Latency.",
+            buckets=(0.1, 1.0),
+            labelnames=("model",),
+        ).labels(model="digits")
+        for v in (0.05, 0.5, 5.0):
+            hist.observe(v)
+        return registry, hist
+
+    def test_clean_registry_renders(self):
+        registry, _ = self._registry_with_histogram()
+        text = registry.render_prometheus()
+        assert 'repro_request_latency_seconds_bucket{le="+Inf",model="digits"} 3' in text
+        assert 'repro_request_latency_seconds_count{model="digits"} 3' in text
+
+    def test_corrupt_bucket_counts_rejected(self):
+        registry, hist = self._registry_with_histogram()
+        hist._counts[1] = -5  # cumulative sequence now decreases
+        with pytest.raises(MetricsError, match="not monotone"):
+            registry.render_prometheus()
+
+    def test_corrupt_total_rejected(self):
+        registry, hist = self._registry_with_histogram()
+        hist._count = 99
+        with pytest.raises(MetricsError, match="top bucket"):
+            registry.render_prometheus()

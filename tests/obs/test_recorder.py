@@ -1,0 +1,119 @@
+"""Flight recorder tests: ring bound, ordering, dumps, process accessor."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import recorder as flight
+from repro.obs.recorder import DEFAULT_CAPACITY, FlightRecorder
+
+
+class TestRing:
+    def test_capacity_bound_keeps_newest(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record("tick", i=i)
+        assert len(rec) == 4
+        assert [e.fields["i"] for e in rec.events()] == [6, 7, 8, 9]
+        # seq keeps counting across evictions
+        assert [e.seq for e in rec.events()] == [7, 8, 9, 10]
+
+    def test_seq_strictly_monotone(self):
+        rec = FlightRecorder()
+        for _ in range(5):
+            rec.record("tick")
+        seqs = [e.seq for e in rec.events()]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ReproError):
+            FlightRecorder(capacity=0)
+
+    def test_bad_severity_rejected(self):
+        rec = FlightRecorder()
+        with pytest.raises(ReproError):
+            rec.record("tick", severity="catastrophic")
+
+    def test_timestamps_are_caller_supplied(self):
+        rec = FlightRecorder()
+        rec.record("a", t_s=1.25)
+        rec.record("b")
+        assert [e.t_s for e in rec.events()] == [1.25, None]
+
+    def test_kinds_and_clear(self):
+        rec = FlightRecorder()
+        rec.record("a")
+        rec.record("b", severity="warn")
+        assert rec.kinds() == ["a", "b"]
+        rec.clear()
+        assert rec.kinds() == [] and len(rec) == 0
+
+
+class TestDump:
+    def test_dump_json_parses_ordered(self):
+        rec = FlightRecorder()
+        rec.record("serve.admit", t_s=0.0, request_id=1)
+        rec.record("fleet.failover", severity="warn", t_s=0.5, from_replica=0)
+        doc = json.loads(rec.dump_json())
+        assert [e["kind"] for e in doc] == ["serve.admit", "fleet.failover"]
+        assert doc[0]["request_id"] == 1
+        assert doc[1]["severity"] == "warn"
+        assert [e["seq"] for e in doc] == [1, 2]
+
+    def test_terminal_dumps_when_armed(self):
+        rec = FlightRecorder(dump_on_error=True)
+        rec.record("serve.admit")
+        out = io.StringIO()
+        rec.terminal("recovery.exhausted", stream=out, replica=0)
+        text = out.getvalue()
+        assert "flight recorder dump" in text
+        dumped = json.loads(text.split("===\n", 1)[1])
+        assert [e["kind"] for e in dumped] == ["serve.admit", "recovery.exhausted"]
+        assert dumped[-1]["severity"] == "error"
+
+    def test_terminal_silent_by_default(self):
+        rec = FlightRecorder()
+        out = io.StringIO()
+        rec.terminal("recovery.exhausted", stream=out)
+        assert out.getvalue() == ""
+        assert rec.kinds() == ["recovery.exhausted"]
+
+
+class TestProcessAccessor:
+    def test_disabled_recorder_is_null_noop(self):
+        # Neutralize any env-armed recorder (REPRO_FLIGHT_RECORDER=1 in
+        # CI's telemetry job) so we observe the disabled state.
+        previous = flight.set_recorder(None)
+        try:
+            assert not flight.recorder().enabled
+            assert flight.record("anything", severity="error") is None
+            assert flight.recorder().dump() == []
+            assert flight.recorder().dump_json() == "[]"
+        finally:
+            flight.set_recorder(previous)
+
+    def test_use_recorder_scopes_install(self):
+        before = flight.recorder()
+        with flight.use_recorder() as rec:
+            assert flight.recorder() is rec
+            flight.record("scoped", t_s=1.0)
+            assert rec.kinds() == ["scoped"]
+        assert flight.recorder() is before
+
+    def test_enable_disable_roundtrip(self):
+        before = flight.set_recorder(None)
+        try:
+            rec = flight.enable(capacity=8, dump_on_error=True)
+            assert flight.recorder() is rec
+            assert rec.capacity == 8 and rec.dump_on_error
+            assert flight.disable() is rec
+            assert not flight.recorder().enabled
+        finally:
+            flight.set_recorder(before)
+
+    def test_default_capacity(self):
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
